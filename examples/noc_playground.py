@@ -1,0 +1,72 @@
+"""Exploring the NoC substrate on its own.
+
+Runs the cycle-level mesh simulator on classic synthetic patterns and on a
+real layer-transition burst from AlexNet, reporting drain time, latency,
+energy breakdown, and how the cycle-level results compare with the
+analytical bound.
+
+Run:  python examples/noc_playground.py
+"""
+
+from repro.analysis import render_table
+from repro.models import get_spec
+from repro.noc import (
+    Mesh2D,
+    NoCConfig,
+    NoCEnergyModel,
+    NoCSimulator,
+    estimate_drain_cycles,
+    neighbor_traffic,
+    transpose_traffic,
+    uniform_random_traffic,
+)
+from repro.partition import build_traditional_plan
+
+
+def run_pattern(name, traffic, mesh, config):
+    sim = NoCSimulator(mesh, config)
+    sim.inject(traffic.to_packets(config))
+    stats = sim.run()
+    bound = estimate_drain_cycles(traffic, mesh, config)
+    energy = NoCEnergyModel().simulation_energy(stats, mesh.num_nodes)
+    return [
+        name,
+        traffic.total_bytes,
+        stats.cycles,
+        bound.cycles,
+        f"{stats.avg_packet_latency:.0f}",
+        f"{energy.total_j * 1e9:.1f} nJ",
+    ]
+
+
+def main() -> None:
+    mesh = Mesh2D.for_nodes(16)
+    config = NoCConfig()
+    total = 16 * 15 * 1216  # one max-size packet per (src, dst) pair
+
+    rows = [
+        run_pattern("uniform", uniform_random_traffic(16, total, seed=0), mesh, config),
+        run_pattern("transpose", transpose_traffic(mesh, 12 * 1216), mesh, config),
+        run_pattern("neighbor", neighbor_traffic(mesh, 12 * 1216), mesh, config),
+    ]
+
+    # A real burst: AlexNet's conv3 layer transition on 16 cores.
+    plan = build_traditional_plan(get_spec("alexnet"), 16)
+    conv3 = next(lp for lp in plan.layers if lp.layer.name == "conv3")
+    rows.append(run_pattern("alexnet conv3", conv3.traffic, mesh, config))
+
+    print(render_table(
+        ["pattern", "bytes", "drain cycles", "analytical bound",
+         "avg pkt latency", "dynamic+static energy"],
+        rows,
+        title="Cycle-level NoC simulation (Table II configuration, 4x4 mesh)",
+    ))
+    print(
+        "\nThe cycle-level drain time exceeds the analytical estimate by the "
+        "congestion the\nclosed form cannot see; adversarial patterns "
+        "(transpose) suffer more than neighbor traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

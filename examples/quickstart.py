@@ -1,0 +1,66 @@
+"""Quickstart: train a small network and compare all three parallelization
+schemes on the paper's 16-core chip.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.accel import ChipConfig
+from repro.datasets import synthetic_mnist
+from repro.models import build_mlp
+from repro.nn import Sequential
+from repro.partition import build_sparsified_plan
+from repro.sim import InferenceSimulator
+from repro.train import SparsifyConfig, TrainConfig, Trainer, train_sparsified
+from repro.analysis import render_table
+
+
+def main() -> None:
+    num_cores = 16
+    dataset = synthetic_mnist(train_size=1000, test_size=400, flat=True)
+
+    # 1. Train the dense baseline.
+    model = build_mlp(seed=0)
+    Trainer(model, TrainConfig(epochs=8, lr=0.05)).fit(dataset)
+    baseline_accuracy = model.accuracy(dataset.x_test, dataset.y_test)
+    baseline_state = model.state_dict()
+
+    # 2. The traditional plan of the dense model is the baseline mapping.
+    chip = ChipConfig.table2(num_cores)
+    simulator = InferenceSimulator(chip)
+    baseline_plan = build_sparsified_plan(model, num_cores, scheme="baseline")
+    baseline_result = simulator.simulate(baseline_plan)
+
+    rows = [[
+        "baseline", f"{baseline_accuracy:.3f}", "100%", "1.00x", "0%",
+    ]]
+
+    # 3. Retrain with uniform (SS) and distance-masked (SS_Mask) group Lasso.
+    for scheme in ("ss", "ss_mask"):
+        model.load_state_dict(baseline_state)
+        outcome = train_sparsified(
+            model, dataset, num_cores, scheme, SparsifyConfig(lam_g=0.1)
+        )
+        plan = build_sparsified_plan(model, num_cores, scheme=scheme)
+        result = simulator.simulate(plan)
+        rows.append([
+            scheme,
+            f"{outcome.accuracy:.3f}",
+            f"{plan.traffic_rate_vs(baseline_plan):.0%}",
+            f"{result.speedup_vs(baseline_result):.2f}x",
+            f"{result.comm_energy_reduction_vs(baseline_result):.0%}",
+        ])
+
+    print(render_table(
+        ["scheme", "accuracy", "NoC traffic", "speedup", "NoC energy red."],
+        rows,
+        title=f"MLP on a {num_cores}-core mesh CMP (Table II configuration)",
+    ))
+    print(
+        "\nThe distance-masked scheme (ss_mask) keeps its surviving traffic "
+        "between adjacent cores,\nwhich is why it matches or beats ss on "
+        "speedup even when it moves similar byte counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Scaling study: how core count changes the communication problem.
+
+Pure geometry — no training.  Maps AlexNet with traditional parallelization
+onto chips of 4..64 cores and reports the communication-blocked fraction of
+single-pass latency, plus the latency/throughput trade-off against a
+data-parallel (one-input-per-core) deployment of the same chip.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.accel import ChipConfig
+from repro.analysis import render_table
+from repro.models import get_spec
+from repro.partition import build_traditional_plan
+from repro.sim import InferenceSimulator, compare_deployments
+
+
+def main() -> None:
+    spec = get_spec("alexnet")
+
+    rows = []
+    for cores in (4, 8, 16, 32, 64):
+        chip = ChipConfig.table2(cores)
+        plan = build_traditional_plan(spec, cores)
+        result = InferenceSimulator(chip).simulate(plan)
+        comparison = compare_deployments(spec, chip)
+        rows.append([
+            cores,
+            result.total_cycles,
+            f"{result.comm_fraction:.1%}",
+            f"{comparison.latency_advantage:.1f}x",
+            f"{comparison.throughput_advantage:.1f}x",
+        ])
+
+    print(render_table(
+        [
+            "cores", "single-pass cycles", "comm fraction",
+            "latency vs data-parallel", "throughput of data-parallel",
+        ],
+        rows,
+        title="AlexNet, traditional parallelization, Table II chip",
+    ))
+    print(
+        "\nMore cores shrink compute but the synchronization share grows — "
+        "the scaling wall the\npaper's communication-aware schemes attack. "
+        "Data-parallel deployment flips the trade-off:\nbetter total "
+        "throughput, worse response time per query."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Structure-level parallelization: grouped convolutions as a communication
+optimization (paper §IV.B, Table III).
+
+Trains the (scaled) Table III ConvNet with different group counts on an
+ImageNet10-like dataset, maps each variant on a 16-core chip, and shows the
+accuracy / speedup trade-off plus the widening trick (Parallel#3) that buys
+the accuracy back.
+
+Run:  python examples/structure_level_grouping.py
+"""
+
+from repro.analysis import render_table
+from repro.datasets import synthetic_imagenet10
+from repro.models import NetworkSpec, build_table3_convnet
+from repro.partition import build_traditional_plan
+from repro.sim import InferenceSimulator, SimConfig
+from repro.accel import ChipConfig
+from repro.train import TrainConfig, Trainer
+
+
+def train_variant(groups: int, wide: bool, dataset, epochs: int = 8):
+    model = build_table3_convnet(groups=groups, wide=wide, seed=0)
+    Trainer(model, TrainConfig(epochs=epochs, lr=0.05)).fit(dataset)
+    return model, model.accuracy(dataset.x_test, dataset.y_test)
+
+
+def main() -> None:
+    num_cores = 16
+    dataset = synthetic_imagenet10(train_size=800, test_size=300)
+    simulator = InferenceSimulator(ChipConfig.table2(num_cores))
+
+    variants = [
+        ("parallel#1 (n=1)", 1, False),
+        ("parallel#2 (n=16)", 16, False),
+        ("parallel#3 (n=16, wide)", 16, True),
+    ]
+
+    results = []
+    base_result = None
+    for label, groups, wide in variants:
+        model, accuracy = train_variant(groups, wide, dataset)
+        spec = NetworkSpec.from_sequential(model)
+        plan = build_traditional_plan(
+            spec, num_cores, scheme="structure" if groups > 1 else "traditional"
+        )
+        result = simulator.simulate(plan)
+        if base_result is None:
+            base_result = result
+        results.append((label, accuracy, plan, result))
+
+    rows = []
+    for label, accuracy, plan, result in results:
+        rows.append([
+            label,
+            f"{accuracy:.3f}",
+            plan.total_traffic_bytes,
+            f"{result.speedup_vs(base_result):.2f}x",
+            f"{result.comm_energy_reduction_vs(base_result):.0%}",
+        ])
+    print(render_table(
+        ["variant", "accuracy", "NoC bytes", "speedup", "comm energy red."],
+        rows,
+        title="Structure-level parallelization on 16 cores (paper Table III)",
+    ))
+    print(
+        "\nGrouping conv2/conv3 removes their synchronization traffic AND "
+        "their cross-group MACs;\nwidening the grouped network (parallel#3) "
+        "recovers the accuracy the split costs."
+    )
+
+
+if __name__ == "__main__":
+    main()

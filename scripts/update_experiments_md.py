@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Splice the latest experiment output into EXPERIMENTS.md.
+
+Reads ``experiment_results.txt`` (written by ``repro-experiments`` or the
+prewarm runner) and replaces everything after the ``<!-- RESULTS -->``
+marker in EXPERIMENTS.md with the fenced, verbatim tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MARKER = "<!-- RESULTS -->"
+
+
+def main() -> int:
+    results = ROOT / "experiment_results.txt"
+    doc = ROOT / "EXPERIMENTS.md"
+    if not results.exists():
+        print(f"missing {results}; run repro-experiments first", file=sys.stderr)
+        return 1
+    body = doc.read_text()
+    if MARKER not in body:
+        print(f"{doc} lacks the {MARKER} marker", file=sys.stderr)
+        return 1
+    head = body.split(MARKER)[0] + MARKER + "\n\n"
+    tables = results.read_text().rstrip()
+    doc.write_text(head + "```\n" + tables + "\n```\n")
+    print(f"spliced {results} into {doc}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Learn-to-Scale reproduction: parallelizing single-pass DNN inference on
+chip-multiprocessor neural accelerators (Zou et al., DATE 2019).
+
+Subpackages
+-----------
+``repro.nn``
+    Pure-numpy DNN framework with (masked) group-Lasso structured sparsity.
+``repro.datasets``
+    Deterministic synthetic stand-ins for MNIST / CIFAR-10 / ImageNet10.
+``repro.models``
+    Benchmark network zoo: full-scale specs + trainable scaled variants.
+``repro.noc``
+    Cycle-level 2-D mesh wormhole NoC simulator with DSENT-like energy.
+``repro.accel``
+    DianNao-style core timing/energy, LPDDR3, whole-chip configuration.
+``repro.partition``
+    The paper's contribution: traditional / structure-level / sparsified
+    partition plans and distance-based sparsity-strength masks.
+``repro.train``
+    Training loops and the SS / SS_Mask sparsification recipes.
+``repro.sim``
+    End-to-end single-pass inference simulation (compute + NoC + DRAM).
+``repro.experiments``
+    One runner per paper table/figure, plus ablations.
+"""
+
+from . import accel, analysis, datasets, models, nn, noc, partition, sim, train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "datasets",
+    "models",
+    "noc",
+    "accel",
+    "partition",
+    "train",
+    "sim",
+    "analysis",
+    "__version__",
+]

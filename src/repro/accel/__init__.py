@@ -1,0 +1,15 @@
+"""DianNao-style multi-core accelerator models: core timing, DRAM, chip config."""
+
+from .chip import ChipConfig
+from .core import AcceleratorConfig, CoreModel, CoreWorkload
+from .dram import LPDDR3Model
+from .energy import ComputeEnergyModel
+
+__all__ = [
+    "AcceleratorConfig",
+    "CoreModel",
+    "CoreWorkload",
+    "LPDDR3Model",
+    "ComputeEnergyModel",
+    "ChipConfig",
+]

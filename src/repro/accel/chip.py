@@ -1,0 +1,54 @@
+"""Whole-chip configuration: cores + NoC + memory (Table II).
+
+:class:`ChipConfig` bundles every hardware model the end-to-end simulation
+needs.  ``ChipConfig.table2(num_cores)`` builds the paper's evaluated system:
+``num_cores`` DianNao-style cores on a 2-D mesh with the Table II NoC and a
+single-channel LPDDR3 memory behind one memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..noc.energy import NoCEnergyModel
+from ..noc.packet import NoCConfig
+from ..noc.topology import Mesh2D
+from .core import AcceleratorConfig, CoreModel
+from .dram import LPDDR3Model
+from .energy import ComputeEnergyModel
+
+__all__ = ["ChipConfig"]
+
+
+@dataclass
+class ChipConfig:
+    """Everything the simulator needs to know about the hardware."""
+
+    num_cores: int
+    mesh: Mesh2D
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    core: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    dram: LPDDR3Model = field(default_factory=LPDDR3Model)
+    noc_energy: NoCEnergyModel = field(default_factory=NoCEnergyModel)
+    compute_energy: ComputeEnergyModel = field(default_factory=ComputeEnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {self.num_cores}")
+        if self.mesh.num_nodes != self.num_cores:
+            raise ValueError(
+                f"mesh has {self.mesh.num_nodes} nodes but num_cores={self.num_cores}"
+            )
+
+    @staticmethod
+    def table2(num_cores: int = 16) -> "ChipConfig":
+        """The paper's evaluated configuration for a given core count."""
+        return ChipConfig(num_cores=num_cores, mesh=Mesh2D.for_nodes(num_cores))
+
+    def core_model(self) -> CoreModel:
+        return CoreModel(self.core)
+
+    @property
+    def bytes_per_value(self) -> int:
+        """Activation width on the wire (16-bit fixed point)."""
+        return self.core.value_bytes

@@ -1,0 +1,55 @@
+"""LPDDR3 main-memory model.
+
+Table II: one channel, one rank, 1 GB, 4 banks.  The model is a bandwidth /
+latency / energy abstraction — enough to account for weight streaming during
+single-pass inference, which is identical across the paper's parallelization
+schemes (they redistribute *on-chip* traffic, not off-chip traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LPDDR3Model"]
+
+
+@dataclass(frozen=True)
+class LPDDR3Model:
+    """Bandwidth/latency/energy of a single-channel LPDDR3 part.
+
+    Defaults: LPDDR3-1600 with a 32-bit channel = 6.4 GB/s peak, ~80%
+    achievable on streaming reads; ~45 ns random-access latency; ~6 pJ/bit
+    device + PHY energy (48 pJ/byte), typical published LPDDR3 figures.
+    """
+
+    peak_bandwidth_gbps: float = 6.4  # gigabytes per second
+    streaming_efficiency: float = 0.8
+    access_latency_ns: float = 45.0
+    energy_pj_per_byte: float = 48.0
+    capacity_bytes: int = 1 << 30
+    clock_ghz: float = 1.0  # core clock used to convert time to cycles
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 < self.streaming_efficiency <= 1:
+            raise ValueError("streaming efficiency must be in (0, 1]")
+
+    @property
+    def effective_bytes_per_cycle(self) -> float:
+        """Sustained bytes per core-clock cycle."""
+        bytes_per_second = self.peak_bandwidth_gbps * 1e9 * self.streaming_efficiency
+        return bytes_per_second / (self.clock_ghz * 1e9)
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Core-clock cycles to stream ``num_bytes`` (latency + bandwidth)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0
+        latency_cycles = self.access_latency_ns * self.clock_ghz
+        return int(latency_cycles + num_bytes / self.effective_bytes_per_cycle)
+
+    def transfer_energy_j(self, num_bytes: int) -> float:
+        """Joules to move ``num_bytes`` across the channel."""
+        return num_bytes * self.energy_pj_per_byte * 1e-12

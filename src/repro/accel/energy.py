@@ -1,0 +1,38 @@
+"""Compute-side energy model for the accelerator cores.
+
+Constants follow the DianNao publication's regime (65 nm originally; we use
+32 nm-class figures consistent with the NoC energy model): ~1 pJ per 16-bit
+MAC including pipeline overheads, ~0.1 pJ/byte SRAM access for the KB-scale
+buffers.  As with the NoC model, the paper's metric is a *ratio* between
+schemes, so relative MAC/SRAM counts dominate the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core import CoreModel, CoreWorkload
+
+__all__ = ["ComputeEnergyModel"]
+
+
+@dataclass(frozen=True)
+class ComputeEnergyModel:
+    """Per-event energies for the core datapath and local SRAM."""
+
+    mac_j: float = 1.0e-12
+    sram_j_per_byte: float = 0.1e-12
+    static_w_per_core: float = 50e-3
+    clock_ghz: float = 1.0
+
+    def workload_energy_j(self, work: CoreWorkload, core_model: CoreModel) -> float:
+        """Dynamic energy of one core executing one layer slice."""
+        return (
+            work.macs * self.mac_j
+            + core_model.sram_traffic_bytes(work) * self.sram_j_per_byte
+        )
+
+    def static_energy_j(self, cycles: int, num_cores: int) -> float:
+        """Leakage+clock energy of the whole core array over ``cycles``."""
+        seconds = cycles / (self.clock_ghz * 1e9)
+        return self.static_w_per_core * num_cores * seconds

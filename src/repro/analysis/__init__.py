@@ -1,0 +1,20 @@
+"""Metrics and report rendering."""
+
+from .metrics import (
+    geometric_mean,
+    reduction,
+    relative_error,
+    speedup,
+    within_factor,
+)
+from .tables import format_value, render_table
+
+__all__ = [
+    "speedup",
+    "reduction",
+    "geometric_mean",
+    "relative_error",
+    "within_factor",
+    "render_table",
+    "format_value",
+]

@@ -1,0 +1,57 @@
+"""Cross-run metric helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "speedup",
+    "reduction",
+    "geometric_mean",
+    "relative_error",
+    "within_factor",
+]
+
+
+def speedup(baseline_cycles: float, scheme_cycles: float) -> float:
+    """Baseline-over-scheme latency ratio (>1 means the scheme is faster)."""
+    if scheme_cycles <= 0:
+        raise ValueError(f"scheme cycles must be positive, got {scheme_cycles}")
+    return baseline_cycles / scheme_cycles
+
+
+def reduction(baseline: float, scheme: float) -> float:
+    """Fractional reduction ``1 - scheme/baseline`` (0 when baseline is 0)."""
+    if baseline == 0:
+        return 0.0
+    return 1.0 - scheme / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (inf when reference is 0)."""
+    if reference == 0:
+        return math.inf if measured else 0.0
+    return abs(measured - reference) / abs(reference)
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """Is ``measured`` within a multiplicative ``factor`` of ``reference``."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if measured <= 0 or reference <= 0:
+        return measured == reference
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor

@@ -1,0 +1,54 @@
+"""Command-line entry point: ``repro-experiments [names...] [--profile fast]``.
+
+Runs the requested paper experiments (default: all) and prints their tables.
+Trained models are cached under ``$REPRO_CACHE_DIR`` (default
+``.repro_cache/``), so re-runs only pay for simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, get_profile
+from .experiments.runner import run_one
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the Learn-to-Scale (DATE'19) evaluation tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"experiments to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--profile",
+        default="paper",
+        choices=("paper", "fast"),
+        help="training effort profile (fast = smoke-test sizes)",
+    )
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    unknown = [n for n in args.experiments if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+
+    for name in args.experiments:
+        start = time.time()
+        table = run_one(name, profile)
+        elapsed = time.time() - start
+        print(table)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Synthetic datasets standing in for MNIST / CIFAR-10 / ImageNet10 (offline)."""
+
+from .loaders import DataLoader
+from .synthetic import (
+    SyntheticImageDataset,
+    render_samples,
+    smooth_prototypes,
+    synthetic_cifar10,
+    synthetic_imagenet10,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "DataLoader",
+    "SyntheticImageDataset",
+    "smooth_prototypes",
+    "render_samples",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_imagenet10",
+]

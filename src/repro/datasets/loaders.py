@@ -1,0 +1,55 @@
+"""Minibatch iteration over array datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate (x, y) minibatches with optional deterministic shuffling.
+
+    Each full iteration re-shuffles (when enabled) using a stream derived from
+    the constructor seed, so epoch order is reproducible yet varies by epoch.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}"
+            )
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = self.x.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = self.x.shape[0]
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.x[idx], self.y[idx]

@@ -1,0 +1,26 @@
+"""Paper-experiment runners: one module per table/figure, plus ablations."""
+
+from .config import FAST, PAPER, ExperimentProfile, get_profile
+from .motivation import run_motivation
+from .runner import EXPERIMENTS, run_all, run_one
+from .table1 import run_table1
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .table6 import run_table6
+
+__all__ = [
+    "ExperimentProfile",
+    "PAPER",
+    "FAST",
+    "get_profile",
+    "EXPERIMENTS",
+    "run_all",
+    "run_one",
+    "run_table1",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_motivation",
+]

@@ -1,0 +1,77 @@
+"""Disk cache for trained models and experiment results.
+
+Training the benchmark networks is the expensive part of the reproduction;
+the benchmark harness re-runs simulations freely but should never retrain a
+model it has already trained with identical settings.  Artifacts live under
+``$REPRO_CACHE_DIR`` (default ``.repro_cache/`` in the working directory):
+
+* ``<key>.npz``  — model state dicts (one array per parameter);
+* ``<key>.json`` — plain-data experiment results.
+
+Keys embed a hash of the run's settings, so changing a profile invalidates
+stale entries automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["cache_dir", "settings_key", "load_state", "save_state", "cached_json"]
+
+
+def cache_dir() -> Path:
+    """Resolve (and create) the artifact cache directory."""
+    root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def settings_key(name: str, settings: dict[str, Any]) -> str:
+    """Stable cache key: a readable name plus a hash of the settings."""
+    blob = json.dumps(settings, sort_keys=True, default=str).encode()
+    digest = hashlib.sha256(blob).hexdigest()[:12]
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    return f"{safe}-{digest}"
+
+
+def save_state(key: str, state: dict[str, np.ndarray]) -> Path:
+    """Persist a model state dict."""
+    path = cache_dir() / f"{key}.npz"
+    np.savez(path, **state)
+    return path
+
+
+def load_state(key: str) -> dict[str, np.ndarray] | None:
+    """Load a cached state dict, or None when absent/corrupt."""
+    path = cache_dir() / f"{key}.npz"
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def cached_json(key: str, compute: Callable[[], dict]) -> dict:
+    """Load a cached JSON result or compute and store it.
+
+    ``compute`` must return JSON-serializable plain data.
+    """
+    path = cache_dir() / f"{key}.json"
+    if path.exists():
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            pass
+    result = compute()
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, default=float)
+    return result

@@ -1,0 +1,201 @@
+"""Shared machinery of the experiment runners: datasets, cached training,
+scheme operating-point selection."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..accel.chip import ChipConfig
+from ..datasets.synthetic import (
+    SyntheticImageDataset,
+    synthetic_cifar10,
+    synthetic_imagenet10,
+    synthetic_mnist,
+)
+from ..models.factory import (
+    build_caffenet_scaled,
+    build_convnet,
+    build_lenet,
+    build_mlp,
+    build_table3_convnet,
+)
+from ..nn.network import Sequential
+from ..partition.plan import ModelParallelPlan
+from ..partition.sparsified import build_sparsified_plan
+from ..sim.engine import InferenceSimulator, SimConfig
+from ..sim.results import SimulationResult
+from ..train.sparsify import SparsifyConfig, train_sparsified
+from ..train.trainer import Trainer
+from .cache import cached_json, load_state, save_state, settings_key
+from .config import ExperimentProfile
+
+__all__ = [
+    "dataset_for",
+    "build_network",
+    "train_baseline",
+    "SchemeOutcome",
+    "run_sparsified_scheme",
+    "simulator_for",
+    "TABLE4_NETWORKS",
+]
+
+#: Table IV benchmark set: network name -> (dataset builder kwargs applied
+#: on top of the profile sizes).
+TABLE4_NETWORKS = ("mlp", "lenet", "convnet", "caffenet")
+
+
+def dataset_for(network: str, profile: ExperimentProfile) -> SyntheticImageDataset:
+    """The synthetic stand-in dataset each benchmark network trains on."""
+    sizes = {"train_size": profile.train_size, "test_size": profile.test_size}
+    if network == "mlp":
+        return synthetic_mnist(flat=True, seed=profile.seed, **sizes)
+    if network == "lenet":
+        return synthetic_mnist(flat=False, seed=profile.seed, **sizes)
+    if network == "convnet":
+        return synthetic_cifar10(seed=profile.seed + 1, **sizes)
+    if network in ("caffenet", "table3"):
+        return synthetic_imagenet10(seed=profile.seed + 2, **sizes)
+    raise ValueError(f"no dataset mapping for network {network!r}")
+
+
+def build_network(network: str, seed: int = 0, **kwargs) -> Sequential:
+    """Trainable benchmark model by experiment name."""
+    builders = {
+        "mlp": build_mlp,
+        "lenet": build_lenet,
+        "convnet": build_convnet,
+        "caffenet": build_caffenet_scaled,
+        "table3": build_table3_convnet,
+    }
+    try:
+        builder = builders[network]
+    except KeyError:
+        raise ValueError(f"unknown network {network!r}; known: {sorted(builders)}") from None
+    return builder(seed=seed, **kwargs)
+
+
+def train_baseline(
+    network: str,
+    profile: ExperimentProfile,
+    dataset: SyntheticImageDataset | None = None,
+    **build_kwargs,
+) -> tuple[Sequential, float]:
+    """Train (or load from cache) the dense baseline of a benchmark network."""
+    dataset = dataset or dataset_for(network, profile)
+    model = build_network(network, seed=profile.seed, **build_kwargs)
+    key = settings_key(
+        f"baseline-{model.name}",
+        {
+            "profile": profile.name,
+            "train": asdict(profile.baseline),
+            "train_size": profile.train_size,
+            "dataset": dataset.name,
+            "seed": profile.seed,
+            "build": sorted(build_kwargs.items()),
+        },
+    )
+    state = load_state(key)
+    if state is not None:
+        model.load_state_dict(state)
+        model.eval()
+    else:
+        Trainer(model, profile.baseline).fit(dataset)
+        save_state(key, model.state_dict())
+    return model, model.accuracy(dataset.x_test, dataset.y_test)
+
+
+@dataclass
+class SchemeOutcome:
+    """Selected operating point of one sparsified scheme."""
+
+    scheme: str
+    lam: float
+    accuracy: float
+    plan: ModelParallelPlan
+    result: SimulationResult
+
+
+def simulator_for(num_cores: int, sim_config: SimConfig | None = None) -> InferenceSimulator:
+    """Table II chip + engine for a core count."""
+    return InferenceSimulator(ChipConfig.table2(num_cores), sim_config)
+
+
+def run_sparsified_scheme(
+    network: str,
+    scheme: str,
+    num_cores: int,
+    profile: ExperimentProfile,
+    baseline_plan: ModelParallelPlan,
+    dataset: SyntheticImageDataset | None = None,
+    **build_kwargs,
+) -> SchemeOutcome:
+    """Train a scheme across the profile's lambda grid and pick its operating point.
+
+    Mirrors the paper's protocol: each scheme is pushed to the strongest
+    sparsification whose accuracy stays within the profile's tolerance of the
+    dense baseline; among admissible points the one with the least NoC
+    traffic wins.  Falls back to the weakest lambda when nothing is
+    admissible (reported as-is rather than hidden).
+    """
+    dataset = dataset or dataset_for(network, profile)
+    base_model, base_acc = train_baseline(
+        network, profile, dataset=dataset, **build_kwargs
+    )
+    base_state = base_model.state_dict()
+    simulator = simulator_for(num_cores)
+
+    candidates: list[tuple[float, float, float]] = []  # (traffic_rate, lam, acc)
+    states: dict[float, dict[str, np.ndarray]] = {}
+    for lam in profile.lam_grid:
+        model = build_network(network, seed=profile.seed, **build_kwargs)
+        key = settings_key(
+            f"{scheme}-{model.name}-c{num_cores}",
+            {
+                "profile": profile.name,
+                "lam": lam,
+                "sparsify": asdict(profile.sparsify),
+                "finetune": asdict(profile.finetune),
+                "prune": profile.prune_rms_threshold,
+                "train_size": profile.train_size,
+                "dataset": dataset.name,
+                "seed": profile.seed,
+                "build": sorted(build_kwargs.items()),
+            },
+        )
+        state = load_state(key)
+        if state is not None:
+            model.load_state_dict(state)
+            model.eval()
+            acc = model.accuracy(dataset.x_test, dataset.y_test)
+        else:
+            model.load_state_dict(base_state)
+            res = train_sparsified(
+                model,
+                dataset,
+                num_cores,
+                scheme,
+                SparsifyConfig(
+                    lam_g=lam,
+                    sparsify=profile.sparsify,
+                    finetune=profile.finetune,
+                    prune_rms_threshold=profile.prune_rms_threshold,
+                ),
+            )
+            acc = res.accuracy
+            save_state(key, model.state_dict())
+        plan = build_sparsified_plan(model, num_cores, scheme=scheme)
+        rate = plan.traffic_rate_vs(baseline_plan)
+        candidates.append((rate, lam, acc))
+        states[lam] = model.state_dict()
+
+    admissible = [c for c in candidates if c[2] >= base_acc - profile.accuracy_tolerance]
+    rate, lam, acc = min(admissible) if admissible else candidates[0]
+
+    model = build_network(network, seed=profile.seed, **build_kwargs)
+    model.load_state_dict(states[lam])
+    model.eval()
+    plan = build_sparsified_plan(model, num_cores, scheme=scheme)
+    result = simulator.simulate(plan)
+    return SchemeOutcome(scheme=scheme, lam=lam, accuracy=acc, plan=plan, result=result)

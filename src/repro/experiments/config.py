@@ -1,0 +1,69 @@
+"""Experiment profiles: how much training each reproduction run does.
+
+``PAPER`` is the default profile used by the benchmark harness — big enough
+for the paper's qualitative results to be stable.  ``FAST`` is a tiny profile
+for integration tests (minutes of CPU total across the whole suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..train.trainer import TrainConfig
+
+__all__ = ["ExperimentProfile", "PAPER", "FAST", "get_profile"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Sizes and schedules shared by the experiment runners."""
+
+    name: str
+    train_size: int
+    test_size: int
+    baseline: TrainConfig
+    sparsify: TrainConfig
+    finetune: TrainConfig
+    # Group-Lasso strengths tried per scheme; each scheme picks the strongest
+    # sparsification whose accuracy stays within ``accuracy_tolerance`` of
+    # the baseline (the paper tuned each scheme's operating point the same
+    # way: maximal sparsity at negligible accuracy cost).
+    lam_grid: tuple[float, ...]
+    accuracy_tolerance: float = 0.02
+    prune_rms_threshold: float = 1e-3
+    seed: int = 0
+
+
+PAPER = ExperimentProfile(
+    name="paper",
+    train_size=1200,
+    test_size=400,
+    baseline=TrainConfig(epochs=10, lr=0.05, momentum=0.9, weight_decay=1e-4),
+    sparsify=TrainConfig(epochs=6, lr=0.02, momentum=0.9, weight_decay=0.0),
+    finetune=TrainConfig(epochs=4, lr=0.01, momentum=0.9, weight_decay=1e-4),
+    # One well-calibrated strength: lambda_g = 0.1 lands every benchmark
+    # network in the paper's sparsity regime (see the lambda sweep in
+    # tests/ and the quickstart example); widen the grid to re-enable
+    # per-scheme operating-point search at ~2x the training cost.
+    lam_grid=(0.1,),
+)
+
+FAST = ExperimentProfile(
+    name="fast",
+    train_size=300,
+    test_size=150,
+    baseline=TrainConfig(epochs=4, lr=0.05, momentum=0.9, weight_decay=1e-4),
+    sparsify=TrainConfig(epochs=3, lr=0.02, momentum=0.9, weight_decay=0.0),
+    finetune=TrainConfig(epochs=2, lr=0.01, momentum=0.9, weight_decay=1e-4),
+    lam_grid=(0.1,),
+    accuracy_tolerance=1.0,  # tests check plumbing, not accuracy
+)
+
+_PROFILES = {"paper": PAPER, "fast": FAST}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown profile {name!r}; known: {sorted(_PROFILES)}") from None

@@ -1,0 +1,107 @@
+"""§III.B motivational study — communication fraction of single-pass inference.
+
+The paper motivates the work with the observation that inter-core data
+moving costs ~23% of AlexNet's single-pass latency on a 16-core NNA chip and
+more than 30% for DaDianNao-class systems.  This experiment measures the
+communication-blocked fraction of the traditional plan for every full-scale
+benchmark network (no training involved — geometry only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import render_table
+from ..models.zoo import get_spec
+from ..partition.traditional import build_traditional_plan
+from .common import simulator_for
+
+__all__ = [
+    "MotivationRow",
+    "run_motivation",
+    "render_motivation",
+    "run_motivation_scaling",
+    "render_motivation_scaling",
+]
+
+MOTIVATION_NETWORKS = ("mlp", "lenet", "convnet", "alexnet")
+
+
+@dataclass(frozen=True)
+class MotivationRow:
+    network: str
+    total_cycles: int
+    comm_cycles: int
+    comm_fraction: float
+    traffic_bytes: int
+
+
+def run_motivation(num_cores: int = 16) -> list[MotivationRow]:
+    simulator = simulator_for(num_cores)
+    rows = []
+    for network in MOTIVATION_NETWORKS:
+        plan = build_traditional_plan(get_spec(network), num_cores)
+        result = simulator.simulate(plan)
+        rows.append(
+            MotivationRow(
+                network=network,
+                total_cycles=result.total_cycles,
+                comm_cycles=result.comm_cycles,
+                comm_fraction=result.comm_fraction,
+                traffic_bytes=result.total_traffic_bytes,
+            )
+        )
+    return rows
+
+
+def render_motivation(rows: list[MotivationRow]) -> str:
+    return render_table(
+        ["network", "total cycles", "comm cycles", "comm fraction", "NoC bytes"],
+        [
+            [r.network, r.total_cycles, r.comm_cycles, f"{r.comm_fraction:.1%}",
+             r.traffic_bytes]
+            for r in rows
+        ],
+        title=(
+            "Motivation (§III.B) — communication share of single-pass inference, "
+            "traditional 16-core parallelization (paper reports ~23% for AlexNet)"
+        ),
+    )
+
+
+def run_motivation_scaling(
+    network: str = "alexnet",
+    core_counts: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> list[MotivationRow]:
+    """Communication share vs chip size (the paper's 'grows up rapidly with
+    the increase of system scale' claim; >30% for DaDianNao-scale systems)."""
+    spec = get_spec(network)
+    rows = []
+    for cores in core_counts:
+        plan = build_traditional_plan(spec, cores)
+        result = simulator_for(cores).simulate(plan)
+        rows.append(
+            MotivationRow(
+                network=f"{network}@{cores}c",
+                total_cycles=result.total_cycles,
+                comm_cycles=result.comm_cycles,
+                comm_fraction=result.comm_fraction,
+                traffic_bytes=result.total_traffic_bytes,
+            )
+        )
+    return rows
+
+
+def render_motivation_scaling(rows: list[MotivationRow]) -> str:
+    return render_table(
+        ["system", "total cycles", "comm cycles", "comm fraction", "NoC bytes"],
+        [
+            [r.network, r.total_cycles, r.comm_cycles, f"{r.comm_fraction:.1%}",
+             r.traffic_bytes]
+            for r in rows
+        ],
+        title=(
+            "Motivation (§III.B) — communication share vs core count, "
+            "traditional parallelization"
+        ),
+    )

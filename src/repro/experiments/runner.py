@@ -1,0 +1,84 @@
+"""Run every paper experiment and render the report."""
+
+from __future__ import annotations
+
+from .ablations import (
+    render_agreement,
+    render_mapping,
+    render_mask_exponent,
+    render_noc_sensitivity,
+    render_pipeline,
+    render_placement,
+    render_quantization,
+    run_analytical_agreement,
+    run_mapping_ablation,
+    run_mask_exponent_ablation,
+    run_noc_sensitivity,
+    run_pipeline_ablation,
+    run_placement_ablation,
+    run_quantization_ablation,
+)
+from .config import ExperimentProfile, PAPER
+from .motivation import render_motivation, run_motivation
+from .table1 import render_table1, run_table1
+from .table3 import render_table3, run_table3
+from .table4 import render_table4, run_table4
+from .table5 import render_table5, run_table5
+from .table6 import render_table6, run_table6
+
+__all__ = ["run_all", "EXPERIMENTS"]
+
+EXPERIMENTS = (
+    "table1",
+    "motivation",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "ablation-mask-exponent",
+    "ablation-mapping",
+    "ablation-noc",
+    "ablation-analytical",
+    "ablation-placement",
+    "ablation-quantization",
+    "ablation-pipeline",
+)
+
+
+def run_one(name: str, profile: ExperimentProfile = PAPER) -> str:
+    """Run a single experiment by name and return its rendered table."""
+    if name == "table1":
+        return render_table1(run_table1())
+    if name == "motivation":
+        return render_motivation(run_motivation())
+    if name == "table3":
+        return render_table3(run_table3(profile))
+    if name == "table4":
+        return render_table4(run_table4(profile))
+    if name == "table5":
+        return render_table5(run_table5(profile))
+    if name == "table6":
+        return render_table6(run_table6(profile))
+    if name == "ablation-mask-exponent":
+        return render_mask_exponent(run_mask_exponent_ablation(profile))
+    if name == "ablation-mapping":
+        return render_mapping(run_mapping_ablation())
+    if name == "ablation-noc":
+        return render_noc_sensitivity(run_noc_sensitivity())
+    if name == "ablation-analytical":
+        return render_agreement(run_analytical_agreement())
+    if name == "ablation-placement":
+        return render_placement(run_placement_ablation(profile))
+    if name == "ablation-quantization":
+        return render_quantization(run_quantization_ablation(profile))
+    if name == "ablation-pipeline":
+        return render_pipeline(run_pipeline_ablation())
+    raise ValueError(f"unknown experiment {name!r}; known: {EXPERIMENTS}")
+
+
+def run_all(
+    profile: ExperimentProfile = PAPER,
+    names: tuple[str, ...] = EXPERIMENTS,
+) -> dict[str, str]:
+    """Run the requested experiments; returns name -> rendered table."""
+    return {name: run_one(name, profile) for name in names}

@@ -1,0 +1,86 @@
+"""Table I — NoC data volume after traditional 16-core layer partitioning.
+
+Pure geometry: the full-scale network specs are partitioned with the
+traditional scheme and the per-layer synchronization traffic is reported in
+bytes.  The paper's convention differs from ours by a constant factor (it
+appears to count each value at both the sender and receiver NI, and rounds
+to presentation units), so the comparison in EXPERIMENTS.md focuses on the
+relative ordering across layers and networks, which matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.zoo import get_spec
+from ..partition.traditional import build_traditional_plan
+from ..analysis.tables import render_table
+
+__all__ = ["Table1Row", "run_table1", "render_table1", "PAPER_TABLE1_BYTES"]
+
+#: The paper's reported values (bytes), for side-by-side comparison.
+PAPER_TABLE1_BYTES: dict[str, dict[str, float]] = {
+    "mlp": {"ip2": 28e3, "ip3": 17e3},
+    "lenet": {"conv2": 225e3, "ip1": 57e3, "ip2": 29e3},
+    "convnet": {"conv2": 450e3, "conv3": 113e3, "ip1": 57e3},
+    "alexnet": {
+        "conv2": 2e6, "conv3": 2.4e6, "conv4": 1.8e6, "conv5": 1.8e6,
+        "ip1": 450e3, "ip2": 57e3,
+    },
+    "vgg19": {
+        "conv2": 42e6, "conv3": 22e6, "conv4": 11e6, "conv5": 5.4e6,
+        "ip1": 1.4e6, "ip2": 57e3,
+    },
+}
+
+TABLE1_NETWORKS = ("mlp", "lenet", "convnet", "alexnet", "vgg19")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    network: str
+    layer: str
+    bytes_moved: int
+    paper_bytes: float | None
+
+
+def _paper_reference(network: str, layer: str) -> float | None:
+    refs = PAPER_TABLE1_BYTES.get(network, {})
+    if layer in refs:
+        return refs[layer]
+    # VGG19's conv blocks are reported per block prefix (footnote a).
+    prefix = layer.split("_")[0]
+    return refs.get(prefix)
+
+
+def run_table1(num_cores: int = 16) -> list[Table1Row]:
+    """Per-layer traffic of the traditional plan for every Table I network."""
+    rows: list[Table1Row] = []
+    for network in TABLE1_NETWORKS:
+        spec = get_spec(network)
+        plan = build_traditional_plan(spec, num_cores)
+        for layer_plan in plan.layers:
+            volume = layer_plan.traffic.total_bytes
+            if volume == 0:
+                continue
+            rows.append(
+                Table1Row(
+                    network=network,
+                    layer=layer_plan.layer.name,
+                    bytes_moved=volume,
+                    paper_bytes=_paper_reference(network, layer_plan.layer.name),
+                )
+            )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    return render_table(
+        ["network", "layer", "bytes (ours)", "bytes (paper)"],
+        [
+            [r.network, r.layer, r.bytes_moved,
+             "-" if r.paper_bytes is None else f"{r.paper_bytes:,.0f}"]
+            for r in rows
+        ],
+        title="Table I — NoC data volume after traditional 16-core partitioning",
+    )

@@ -1,0 +1,122 @@
+"""Table III + Fig. 7 — structure-level parallelization of the ConvNet.
+
+Three variants of the (scaled) ImageNet10 ConvNet are trained and simulated
+on the 16-core chip:
+
+* **Parallel#1** — base widths, no grouping (traditional mapping, baseline);
+* **Parallel#2** — base widths, conv2/conv3 split into ``n = 16`` groups;
+* **Parallel#3** — widened conv2/conv3 (the paper's 64-160-320 vs 64-128-256
+  ratio), ``n = 16`` groups — recovering the accuracy #2 loses.
+
+Fig. 7's two panels are the same runs viewed as (a) system/computation/
+communication speedups and (b) communication-energy reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import render_table
+from ..models.spec import NetworkSpec
+from ..partition.traditional import build_traditional_plan
+from ..sim.results import SimulationResult
+from .common import dataset_for, simulator_for, train_baseline
+from .config import ExperimentProfile, PAPER
+
+__all__ = ["Table3Row", "run_table3", "render_table3", "PAPER_TABLE3"]
+
+#: Paper values: (accuracy, system speedup).
+PAPER_TABLE3 = {
+    "parallel#1": (0.726, 1.0),
+    "parallel#2": (0.698, 4.9),
+    "parallel#3": (0.742, 4.6),
+}
+
+#: Paper Fig. 7 overall communication-energy reductions.
+PAPER_FIG7_ENERGY_REDUCTION = {"parallel#2": 0.91, "parallel#3": 0.88}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    variant: str
+    conv_kernels: str
+    groups: int
+    accuracy: float
+    speedup: float
+    comm_speedup: float
+    comm_energy_reduction: float
+    paper_accuracy: float
+    paper_speedup: float
+
+
+def _variant_result(
+    profile: ExperimentProfile,
+    groups: int,
+    wide: bool,
+    num_cores: int,
+) -> tuple[float, SimulationResult]:
+    dataset = dataset_for("table3", profile)
+    model, accuracy = train_baseline(
+        "table3", profile, dataset=dataset, groups=groups, wide=wide
+    )
+    spec = NetworkSpec.from_sequential(model)
+    plan = build_traditional_plan(
+        spec, num_cores, scheme="structure" if groups > 1 else "traditional"
+    )
+    result = simulator_for(num_cores).simulate(plan)
+    return accuracy, result
+
+
+def run_table3(
+    profile: ExperimentProfile = PAPER, num_cores: int = 16
+) -> list[Table3Row]:
+    """Train and simulate Parallel#1/#2/#3; returns rows with paper refs."""
+    variants = [
+        ("parallel#1", False, 1),
+        ("parallel#2", False, num_cores),
+        ("parallel#3", True, num_cores),
+    ]
+    results: dict[str, tuple[float, SimulationResult]] = {}
+    for name, wide, groups in variants:
+        results[name] = _variant_result(profile, groups, wide, num_cores)
+
+    _, base = results["parallel#1"]
+    rows = []
+    for name, wide, groups in variants:
+        accuracy, result = results[name]
+        paper_acc, paper_speedup = PAPER_TABLE3[name]
+        kernels = "32-96-192" if wide else "32-64-128"
+        rows.append(
+            Table3Row(
+                variant=name,
+                conv_kernels=kernels,
+                groups=groups,
+                accuracy=accuracy,
+                speedup=result.speedup_vs(base) if result is not base else 1.0,
+                comm_speedup=result.comm_speedup_vs(base),
+                comm_energy_reduction=result.comm_energy_reduction_vs(base),
+                paper_accuracy=paper_acc,
+                paper_speedup=paper_speedup,
+            )
+        )
+    return rows
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    return render_table(
+        [
+            "variant", "conv kernels", "n", "accu", "speedup",
+            "comm speedup", "comm energy red.", "paper accu", "paper speedup",
+        ],
+        [
+            [
+                r.variant, r.conv_kernels, r.groups, f"{r.accuracy:.3f}",
+                f"{r.speedup:.2f}x",
+                "inf" if r.comm_speedup == float("inf") else f"{r.comm_speedup:.1f}x",
+                f"{r.comm_energy_reduction:.0%}",
+                f"{r.paper_accuracy:.3f}", f"{r.paper_speedup:.1f}x",
+            ]
+            for r in rows
+        ],
+        title="Table III / Fig. 7 — structure-level parallelization (16 cores)",
+    )

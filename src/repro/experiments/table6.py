@@ -1,0 +1,92 @@
+"""Table VI — sparsified parallelization of LeNet at 8 and 32 cores.
+
+The Table IV pipeline re-run at different chip sizes.  The paper's claims to
+reproduce: both SS and SS_Mask keep helping as the core count grows, and the
+gains at 32 cores exceed those at 8 (smaller per-core kernel groups are
+easier to prune; the NoC gets relatively more congested).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..partition.sparsified import build_sparsified_plan
+from .common import dataset_for, run_sparsified_scheme, simulator_for, train_baseline
+from .config import ExperimentProfile, PAPER
+from .table4 import Table4Row
+
+__all__ = ["run_table6", "render_table6", "PAPER_TABLE6"]
+
+#: Paper values: cores -> scheme -> (accuracy, traffic rate, speedup, e-red).
+PAPER_TABLE6 = {
+    8: {
+        "baseline": (0.991, 1.00, 1.00, 0.00),
+        "ss": (0.989, 0.80, 1.20, 0.10),
+        "ss_mask": (0.989, 0.68, 1.22, 0.32),
+    },
+    32: {
+        "baseline": (0.991, 1.00, 1.00, 0.00),
+        "ss": (0.987, 0.32, 1.49, 0.34),
+        "ss_mask": (0.986, 0.18, 1.58, 0.56),
+    },
+}
+
+DEFAULT_CORE_COUNTS = (8, 32)
+
+
+def run_table6(
+    profile: ExperimentProfile = PAPER,
+    core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
+) -> dict[int, list[Table4Row]]:
+    """LeNet baseline/SS/SS_Mask rows per core count."""
+    dataset = dataset_for("lenet", profile)
+    results: dict[int, list[Table4Row]] = {}
+    for cores in core_counts:
+        base_model, base_acc = train_baseline("lenet", profile, dataset=dataset)
+        base_plan = build_sparsified_plan(base_model, cores, scheme="baseline")
+        base_result = simulator_for(cores).simulate(base_plan)
+        rows = [
+            Table4Row(
+                network="lenet", scheme="baseline", accuracy=base_acc,
+                traffic_rate=1.0, speedup=1.0, energy_reduction=0.0, lam=0.0,
+            )
+        ]
+        for scheme in ("ss", "ss_mask"):
+            outcome = run_sparsified_scheme(
+                "lenet", scheme, cores, profile, base_plan, dataset=dataset
+            )
+            rows.append(
+                Table4Row(
+                    network="lenet",
+                    scheme=scheme,
+                    accuracy=outcome.accuracy,
+                    traffic_rate=outcome.plan.traffic_rate_vs(base_plan),
+                    speedup=outcome.result.speedup_vs(base_result),
+                    energy_reduction=outcome.result.comm_energy_reduction_vs(base_result),
+                    lam=outcome.lam,
+                )
+            )
+        results[cores] = rows
+    return results
+
+
+def render_table6(results: dict[int, list[Table4Row]]) -> str:
+    body = []
+    for cores, rows in sorted(results.items()):
+        for r in rows:
+            paper = PAPER_TABLE6.get(cores, {}).get(r.scheme)
+            paper_str = (
+                f"{paper[0]:.1%}/{paper[1]:.0%}/{paper[2]:.2f}x/{paper[3]:.0%}"
+                if paper else "-"
+            )
+            body.append(
+                [
+                    cores, r.scheme, f"{r.accuracy:.2%}", f"{r.traffic_rate:.0%}",
+                    f"{r.speedup:.2f}x", f"{r.energy_reduction:.0%}", paper_str,
+                ]
+            )
+    return render_table(
+        ["cores", "scheme", "accu", "traffic", "speedup", "energy red.",
+         "paper (accu/traffic/speedup/e-red)"],
+        body,
+        title="Table VI — sparsified LeNet at 8 and 32 cores",
+    )

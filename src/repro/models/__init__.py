@@ -1,0 +1,45 @@
+"""Benchmark network zoo: full-scale specs and trainable scaled variants."""
+
+from .factory import (
+    TRAINABLE_BUILDERS,
+    build_caffenet_scaled,
+    build_convnet,
+    build_lenet,
+    build_mlp,
+    build_model,
+    build_table3_convnet,
+)
+from .spec import LayerSpec, NetworkSpec, SpecBuilder
+from .zoo import (
+    SPEC_BUILDERS,
+    alexnet_spec,
+    caffenet_spec,
+    convnet_spec,
+    get_spec,
+    lenet_spec,
+    mlp_spec,
+    table3_convnet_spec,
+    vgg19_spec,
+)
+
+__all__ = [
+    "LayerSpec",
+    "NetworkSpec",
+    "SpecBuilder",
+    "mlp_spec",
+    "lenet_spec",
+    "convnet_spec",
+    "alexnet_spec",
+    "caffenet_spec",
+    "vgg19_spec",
+    "table3_convnet_spec",
+    "SPEC_BUILDERS",
+    "get_spec",
+    "build_mlp",
+    "build_lenet",
+    "build_convnet",
+    "build_table3_convnet",
+    "build_caffenet_scaled",
+    "build_model",
+    "TRAINABLE_BUILDERS",
+]

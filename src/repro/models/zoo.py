@@ -1,0 +1,159 @@
+"""Full-scale architecture specs of the paper's benchmark networks.
+
+These drive the analytical traffic study (Table I) and the full-scale
+partition-plan geometry; they are *not* trained (ImageNet-scale training is
+out of reach for a numpy framework).  The layer geometries follow the Caffe
+model definitions the paper used:
+
+* **MLP** — 784-512-304-10 fully-connected (paper §V).
+* **LeNet** — Caffe's ``lenet`` on MNIST.
+* **ConvNet** — Caffe's ``cifar10_quick`` on CIFAR-10.
+* **AlexNet / CaffeNet** — Krizhevsky et al. with Caffe's single-stream
+  geometry (grouped conv2/conv4/conv5, ``groups=2``).
+* **VGG19** — Simonyan & Zisserman configuration E.
+* **Table III ConvNet** — the paper's ImageNet10 ConvNet with conv kernels
+  64-128-256 (Parallel#1/#2) and 64-160-320 (Parallel#3), groupable.
+"""
+
+from __future__ import annotations
+
+from .spec import NetworkSpec, SpecBuilder
+
+__all__ = [
+    "mlp_spec",
+    "lenet_spec",
+    "convnet_spec",
+    "alexnet_spec",
+    "caffenet_spec",
+    "vgg19_spec",
+    "table3_convnet_spec",
+    "SPEC_BUILDERS",
+    "get_spec",
+]
+
+
+def mlp_spec() -> NetworkSpec:
+    """Three-layer MLP on MNIST: 512/304/10 neurons (paper §V)."""
+    return (
+        SpecBuilder("mlp", (784,))
+        .dense("ip1", 512).act("relu1")
+        .dense("ip2", 304).act("relu2")
+        .dense("ip3", 10)
+        .build()
+    )
+
+
+def lenet_spec() -> NetworkSpec:
+    """Caffe LeNet on MNIST: 20/50 conv kernels, 500-dim ip1."""
+    return (
+        SpecBuilder("lenet", (1, 28, 28))
+        .conv("conv1", 20, kernel=5)
+        .pool("pool1", 2, 2)
+        .conv("conv2", 50, kernel=5)
+        .pool("pool2", 2, 2)
+        .dense("ip1", 500).act("relu1")
+        .dense("ip2", 10)
+        .build()
+    )
+
+
+def convnet_spec() -> NetworkSpec:
+    """Caffe cifar10_quick on CIFAR-10: 32/32/64 conv kernels."""
+    return (
+        SpecBuilder("convnet", (3, 32, 32))
+        .conv("conv1", 32, kernel=5, pad=2).pool("pool1", 3, 2).act("relu1")
+        .conv("conv2", 32, kernel=5, pad=2).act("relu2").pool("pool2", 3, 2)
+        .conv("conv3", 64, kernel=5, pad=2).act("relu3").pool("pool3", 3, 2)
+        .dense("ip1", 64)
+        .dense("ip2", 10)
+        .build()
+    )
+
+
+def alexnet_spec(groups: bool = True) -> NetworkSpec:
+    """AlexNet (Caffe geometry, 227x227 crop); grouped conv2/4/5 by default."""
+    g = 2 if groups else 1
+    return (
+        SpecBuilder("alexnet" if groups else "alexnet-dense", (3, 227, 227))
+        .conv("conv1", 96, kernel=11, stride=4).act("relu1").pool("pool1", 3, 2)
+        .conv("conv2", 256, kernel=5, pad=2, groups=g).act("relu2").pool("pool2", 3, 2)
+        .conv("conv3", 384, kernel=3, pad=1).act("relu3")
+        .conv("conv4", 384, kernel=3, pad=1, groups=g).act("relu4")
+        .conv("conv5", 256, kernel=3, pad=1, groups=g).act("relu5").pool("pool5", 3, 2)
+        .dense("ip1", 4096).act("relu6")
+        .dense("ip2", 4096).act("relu7")
+        .dense("ip3", 1000)
+        .build()
+    )
+
+
+def caffenet_spec() -> NetworkSpec:
+    """CaffeNet: the Caffe-provided AlexNet variant the paper's Table IV uses."""
+    spec = alexnet_spec(groups=True)
+    spec.name = "caffenet"
+    return spec
+
+
+def vgg19_spec() -> NetworkSpec:
+    """VGG19 (configuration E), 224x224 input."""
+    b = SpecBuilder("vgg19", (3, 224, 224))
+    blocks = [
+        ("conv1", 64, 2),
+        ("conv2", 128, 2),
+        ("conv3", 256, 4),
+        ("conv4", 512, 4),
+        ("conv5", 512, 4),
+    ]
+    for prefix, channels, reps in blocks:
+        for r in range(1, reps + 1):
+            b.conv(f"{prefix}_{r}", channels, kernel=3, pad=1).act(f"relu_{prefix}_{r}")
+        b.pool(f"pool_{prefix[-1]}", 2, 2)
+    return (
+        b.dense("ip1", 4096).act("relu6")
+        .dense("ip2", 4096).act("relu7")
+        .dense("ip3", 1000)
+        .build()
+    )
+
+
+def table3_convnet_spec(wide: bool = False, groups: int = 1) -> NetworkSpec:
+    """The paper's Table III ConvNet on ImageNet10 (64x64 input here).
+
+    ``wide=False`` gives conv kernels 64-128-256 (Parallel#1/#2);
+    ``wide=True`` gives 64-160-320 (Parallel#3).  ``groups`` applies the
+    structure-level split to conv2 and conv3 as in §V.A.1.
+    """
+    c2, c3 = (160, 320) if wide else (128, 256)
+    for c in (c2, c3, 64):
+        if c % groups:
+            raise ValueError(f"groups={groups} does not divide channel count {c}")
+    name = f"table3-convnet-{'wide' if wide else 'base'}-n{groups}"
+    return (
+        SpecBuilder(name, (3, 64, 64))
+        .conv("conv1", 64, kernel=5, stride=1, pad=2).act("relu1").pool("pool1", 2, 2)
+        .conv("conv2", c2, kernel=5, pad=2, groups=groups).act("relu2").pool("pool2", 2, 2)
+        .conv("conv3", c3, kernel=3, pad=1, groups=groups).act("relu3").pool("pool3", 2, 2)
+        .dense("ip1", 256).act("relu4")
+        .dense("ip2", 10)
+        .build()
+    )
+
+
+SPEC_BUILDERS = {
+    "mlp": mlp_spec,
+    "lenet": lenet_spec,
+    "convnet": convnet_spec,
+    "alexnet": alexnet_spec,
+    "caffenet": caffenet_spec,
+    "vgg19": vgg19_spec,
+}
+
+
+def get_spec(name: str) -> NetworkSpec:
+    """Look up a full-scale spec by name."""
+    try:
+        return SPEC_BUILDERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown network {name!r}; known: {sorted(SPEC_BUILDERS)}"
+        ) from None

@@ -1,0 +1,72 @@
+"""Pure-numpy DNN framework: layers, losses, optimizers, structured sparsity.
+
+This subpackage is the training/inference substrate the paper assumes (it used
+Caffe); everything needed to train the benchmark networks with (masked) group
+Lasso regularization is implemented here from scratch.
+"""
+
+from . import functional
+from .initializers import get_initializer
+from .layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .loss import MSELoss, SoftmaxCrossEntropy
+from .network import Sequential
+from .optim import SGD, Adam, Optimizer
+from .quantize import FixedPointFormat, dequantize, quantize, quantize_model
+from .regularizers import (
+    CompositeRegularizer,
+    GroupLassoRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    Regularizer,
+)
+from .sparsity import CoreBlockPartition, GroupNormSummary, split_boundaries
+
+__all__ = [
+    "functional",
+    "get_initializer",
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "Dropout",
+    "LocalResponseNorm",
+    "BatchNorm",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Regularizer",
+    "L1Regularizer",
+    "L2Regularizer",
+    "GroupLassoRegularizer",
+    "CompositeRegularizer",
+    "CoreBlockPartition",
+    "GroupNormSummary",
+    "split_boundaries",
+    "FixedPointFormat",
+    "quantize",
+    "dequantize",
+    "quantize_model",
+]

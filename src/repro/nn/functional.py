@@ -1,0 +1,147 @@
+"""Core numerical primitives for the numpy DNN framework.
+
+All convolution layers are implemented on top of the :func:`im2col` /
+:func:`col2im` pair, the classic lowering of convolution to matrix
+multiplication.  Tensor layout is NCHW throughout the framework: a batch of
+``N`` images, ``C`` channels, ``H`` rows, ``W`` columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "pad_nchw",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "relu",
+    "sigmoid",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution / pooling window sweep.
+
+    Raises ``ValueError`` when the window does not fit the padded input, which
+    almost always indicates a mis-specified architecture rather than a
+    legitimate degenerate case.
+    """
+    if kernel <= 0 or stride <= 0:
+        raise ValueError(f"kernel and stride must be positive, got {kernel}, {stride}")
+    if pad < 0:
+        raise ValueError(f"padding must be non-negative, got {pad}")
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window (kernel={kernel}, stride={stride}, pad={pad}) does not fit "
+            f"input of size {size}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold an NCHW tensor into convolution columns.
+
+    Returns a matrix of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+    where each row is the receptive field of one output pixel.  A convolution
+    is then ``cols @ weights.reshape(out_channels, -1).T``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    img = pad_nchw(x, pad)
+    # One strided gather instead of a python loop over kernel positions.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        img, (kernel_h, kernel_w), axis=(2, 3)
+    )[:, :, ::stride, ::stride]  # (n, c, out_h, out_w, kh, kw)
+    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
+        n * out_h * out_w, -1
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold convolution columns back into an NCHW tensor (adjoint of im2col).
+
+    Overlapping receptive fields are summed, which is exactly the gradient of
+    :func:`im2col` and what backpropagation through a convolution needs.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    img = np.zeros((n, c, h + 2 * pad + stride - 1, w + 2 * pad + stride - 1),
+                   dtype=cols.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            img[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+
+    return img[:, :, pad:h + pad, pad:w + pad]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer label vector -> one-hot matrix of shape (N, num_classes)."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out

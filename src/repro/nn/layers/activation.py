@@ -1,0 +1,43 @@
+"""Pointwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import sigmoid
+from .base import Layer
+
+__all__ = ["ReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit, the activation used by every paper model."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = sigmoid(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation (classic LeNet non-linearity)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._out ** 2)

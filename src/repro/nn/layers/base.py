@@ -1,0 +1,114 @@
+"""Layer and Parameter abstractions.
+
+Every layer implements ``forward``/``backward`` with cached intermediates, and
+exposes its learnable state as named :class:`Parameter` objects so optimizers
+and regularizers can iterate over them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer"]
+
+
+class Parameter:
+    """A learnable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter values (mutated in place by optimizers).
+    grad:
+        Gradient of the loss w.r.t. ``data``, populated during ``backward``.
+    name:
+        Qualified name (``<layer>.<param>``) assigned when the layer is added
+        to a network; used by regularizers to target specific parameters.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses register parameters in ``self._params`` (an ordered dict of
+    name -> Parameter) and implement :meth:`forward` and :meth:`backward`.
+    ``backward`` receives the gradient w.r.t. the layer output and must return
+    the gradient w.r.t. the layer input, while accumulating parameter
+    gradients into each ``Parameter.grad``.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__.lower()
+        self.training = True
+        self._params: dict[str, Parameter] = {}
+
+    # -- parameter management -------------------------------------------------
+
+    def add_parameter(self, key: str, data: np.ndarray) -> Parameter:
+        param = Parameter(data, name=f"{self.name}.{key}")
+        self._params[key] = param
+        return param
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self._params.values()
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        yield from self._params.items()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self._params.values())
+
+    def zero_grad(self) -> None:
+        for p in self._params.values():
+            p.zero_grad()
+
+    # -- mode switches ---------------------------------------------------------
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    # -- computation -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape given a per-sample input shape (no batch dim).
+
+        Layers without shape changes inherit this identity default.
+        """
+        return input_shape
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

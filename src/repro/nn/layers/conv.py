@@ -1,0 +1,179 @@
+"""2-D convolution with optional channel grouping.
+
+``groups > 1`` implements AlexNet-style grouped convolution: input and output
+channels are split into ``groups`` contiguous blocks and block ``g`` of the
+output only consumes block ``g`` of the input.  This is exactly the
+"structure-level parallelization" primitive of the paper: when each group is
+mapped to one core, the layer transition needs no inter-core feature-map
+traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import col2im, conv_output_size, im2col
+from ..initializers import get_initializer
+from .base import Layer
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """Convolution layer over NCHW tensors.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; both must be divisible by ``groups``.
+    kernel_size:
+        Square kernel side (int) or ``(kh, kw)``.
+    stride, padding:
+        Uniform stride and zero padding.
+    groups:
+        Number of non-interacting channel groups (1 = dense convolution).
+    weight_init:
+        Initializer name or callable for the kernel tensor.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        weight_init: str = "he_normal",
+        name: str = "",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}, {out_channels}) not divisible by "
+                f"groups={groups}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_h, self.kernel_w = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+
+        rng = rng or np.random.default_rng(0)
+        init = get_initializer(weight_init)
+        # Weight layout: (out_channels, in_channels // groups, kh, kw).
+        w_shape = (
+            out_channels,
+            in_channels // groups,
+            self.kernel_h,
+            self.kernel_w,
+        )
+        self.weight = self.add_parameter("weight", init(w_shape, rng))
+        self.bias = self.add_parameter("bias", np.zeros(out_channels)) if bias else None
+
+        self._cache: tuple | None = None
+
+    # -- geometry ----------------------------------------------------------------
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        out_h = conv_output_size(h, self.kernel_h, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_w, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def macs(self, input_shape: tuple[int, ...]) -> int:
+        """Multiply-accumulate count for one input sample."""
+        _, out_h, out_w = self.output_shape(input_shape)
+        per_output = (self.in_channels // self.groups) * self.kernel_h * self.kernel_w
+        return self.out_channels * out_h * out_w * per_output
+
+    # -- computation ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        out_h = conv_output_size(h, self.kernel_h, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_w, self.stride, self.padding)
+
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+
+        out = np.empty((n, self.out_channels, out_h, out_w), dtype=np.float64)
+        cols_per_group: list[np.ndarray] = []
+        for gi in range(g):
+            xg = x[:, gi * cin_g:(gi + 1) * cin_g]
+            cols = im2col(xg, self.kernel_h, self.kernel_w, self.stride, self.padding)
+            wg = self.weight.data[gi * cout_g:(gi + 1) * cout_g].reshape(cout_g, -1)
+            og = cols @ wg.T  # (N*out_h*out_w, cout_g)
+            out[:, gi * cout_g:(gi + 1) * cout_g] = (
+                og.reshape(n, out_h, out_w, cout_g).transpose(0, 3, 1, 2)
+            )
+            cols_per_group.append(cols)
+
+        if self.bias is not None:
+            out += self.bias.data.reshape(1, -1, 1, 1)
+
+        self._cache = (x.shape, cols_per_group, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shape, cols_per_group, out_h, out_w = self._cache
+        n = x_shape[0]
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+
+        grad_in = np.empty(x_shape, dtype=np.float64)
+        for gi in range(g):
+            go = grad_out[:, gi * cout_g:(gi + 1) * cout_g]
+            go_mat = go.transpose(0, 2, 3, 1).reshape(-1, cout_g)
+            cols = cols_per_group[gi]
+
+            wg4 = self.weight.data[gi * cout_g:(gi + 1) * cout_g]
+            self.weight.grad[gi * cout_g:(gi + 1) * cout_g] += (
+                (go_mat.T @ cols).reshape(cout_g, cin_g, self.kernel_h, self.kernel_w)
+            )
+
+            if self.stride == 1 and self.kernel_h == self.kernel_w:
+                # Transposed convolution: grad_in is the correlation of
+                # grad_out with the 180-degree-rotated kernels, channels
+                # swapped — one im2col + GEMM instead of the scatter-add
+                # col2im, which dominates training time otherwise.
+                w_flip = np.ascontiguousarray(
+                    wg4[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+                ).reshape(cin_g, -1)  # (cin_g, cout_g*kh*kw)
+                pad_t = self.kernel_h - 1 - self.padding
+                go_cols = im2col(go, self.kernel_h, self.kernel_w, 1, pad_t)
+                grad_g = go_cols @ w_flip.T  # (N*h*w, cin_g)
+                grad_in[:, gi * cin_g:(gi + 1) * cin_g] = grad_g.reshape(
+                    n, x_shape[2], x_shape[3], cin_g
+                ).transpose(0, 3, 1, 2)
+            else:
+                grad_cols = go_mat @ wg4.reshape(cout_g, -1)
+                grad_in[:, gi * cin_g:(gi + 1) * cin_g] = col2im(
+                    grad_cols,
+                    (n, cin_g, x_shape[2], x_shape[3]),
+                    self.kernel_h,
+                    self.kernel_w,
+                    self.stride,
+                    self.padding,
+                )
+        return grad_in

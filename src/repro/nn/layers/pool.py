@@ -1,0 +1,90 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import col2im, conv_output_size, im2col
+from .base import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D"]
+
+
+class _Pool2D(Layer):
+    """Shared geometry handling for 2-D pooling layers."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: int | None = None,
+        padding: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(name=name)
+        self.kernel = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel, self.stride, self.padding)
+        return (c, out_h, out_w)
+
+    def _unfold(self, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, self.kernel, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel, self.stride, self.padding)
+        # Pool each channel independently: fold channels into the batch dim.
+        cols = im2col(
+            x.reshape(n * c, 1, h, w), self.kernel, self.kernel, self.stride,
+            self.padding,
+        )  # (N*C*out_h*out_w, k*k)
+        return cols, out_h, out_w
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over NCHW tensors."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        cols, out_h, out_w = self._unfold(x)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        self._cache = (x.shape, argmax, cols.shape, out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape, argmax, cols_shape, out_h, out_w = self._cache
+        n, c, h, w = x_shape
+        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        grad_cols[np.arange(cols_shape[0]), argmax] = grad_out.reshape(-1)
+        grad_img = col2im(
+            grad_cols, (n * c, 1, h, w), self.kernel, self.kernel, self.stride,
+            self.padding,
+        )
+        return grad_img.reshape(x_shape)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over NCHW tensors."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        cols, out_h, out_w = self._unfold(x)
+        out = cols.mean(axis=1)
+        self._cache = (x.shape, cols.shape, out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape, cols_shape, out_h, out_w = self._cache
+        n, c, h, w = x_shape
+        window = self.kernel * self.kernel
+        grad_cols = np.repeat(
+            grad_out.reshape(-1, 1) / window, window, axis=1
+        )
+        grad_img = col2im(
+            grad_cols, (n * c, 1, h, w), self.kernel, self.kernel, self.stride,
+            self.padding,
+        )
+        return grad_img.reshape(x_shape)

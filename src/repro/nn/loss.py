@@ -1,0 +1,68 @@
+"""Loss functions.
+
+Each loss exposes ``forward(logits_or_pred, targets) -> float`` and
+``backward() -> np.ndarray`` returning the gradient w.r.t. the predictions,
+already divided by the batch size so optimizers see per-sample averages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, one_hot, softmax
+
+__all__ = ["SoftmaxCrossEntropy", "MSELoss"]
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy over integer class labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: logits {logits.shape[0]}, labels {labels.shape[0]}"
+            )
+        self._probs = softmax(logits, axis=1)
+        self._labels = labels
+        logp = log_softmax(logits, axis=1)
+        return float(-np.mean(logp[np.arange(labels.shape[0]), labels]))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        n, k = self._probs.shape
+        grad = (self._probs - one_hot(self._labels, k)) / n
+        return grad
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error over arbitrary-shaped predictions."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: pred {pred.shape}, target {target.shape}"
+            )
+        self._diff = pred - target
+        return float(np.mean(self._diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)

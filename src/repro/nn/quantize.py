@@ -1,0 +1,91 @@
+"""16-bit fixed-point quantization matching the DianNao core datapath.
+
+The accelerator cores in Table II operate on 16-bit fixed-point integers.
+This module provides a symmetric Q-format quantizer used to (a) check that
+trained models survive the accelerator's numeric format and (b) compute the
+per-activation byte width used by the traffic model (2 bytes per value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Sequential
+
+__all__ = ["FixedPointFormat", "quantize", "dequantize", "quantize_model"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Symmetric signed fixed-point format with ``total_bits`` total bits.
+
+    ``frac_bits`` of them are fractional; values saturate at the representable
+    extremes rather than wrapping, matching typical accelerator datapaths.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError(f"need at least 2 bits, got {self.total_bits}")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError(
+                f"frac_bits must be in [0, {self.total_bits}), got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> float:
+        """Real value of one least-significant bit."""
+        return 2.0 ** -self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    @property
+    def bytes_per_value(self) -> int:
+        return (self.total_bits + 7) // 8
+
+    @staticmethod
+    def for_range(max_abs: float, total_bits: int = 16) -> "FixedPointFormat":
+        """Choose the fractional width that covers ``[-max_abs, max_abs]``."""
+        if max_abs <= 0:
+            return FixedPointFormat(total_bits, total_bits - 1)
+        int_bits = max(0, int(np.ceil(np.log2(max_abs + 1e-12))) + 1)
+        frac = max(0, min(total_bits - 1, total_bits - 1 - int_bits))
+        return FixedPointFormat(total_bits, frac)
+
+
+def quantize(x: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round to the fixed-point grid, saturating, returned as integers."""
+    scaled = np.round(np.asarray(x, dtype=np.float64) / fmt.scale)
+    lo = -(2 ** (fmt.total_bits - 1))
+    hi = 2 ** (fmt.total_bits - 1) - 1
+    return np.clip(scaled, lo, hi).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Fixed-point integers back to floats."""
+    return np.asarray(q, dtype=np.float64) * fmt.scale
+
+
+def quantize_model(model: Sequential, fmt: FixedPointFormat | None = None) -> dict[str, FixedPointFormat]:
+    """Quantize every parameter of ``model`` in place (fake quantization).
+
+    When ``fmt`` is None, a per-parameter format is chosen to cover each
+    tensor's dynamic range.  Returns the format used for each parameter so
+    callers can report the effective precision.
+    """
+    formats: dict[str, FixedPointFormat] = {}
+    for name, param in model.named_parameters():
+        f = fmt or FixedPointFormat.for_range(float(np.max(np.abs(param.data)) or 0.0))
+        param.data[...] = dequantize(quantize(param.data, f), f)
+        formats[name] = f
+    return formats

@@ -1,0 +1,267 @@
+"""Core-block structured sparsity utilities.
+
+The paper partitions each weight tensor into ``P x P`` blocks where ``P`` is
+the number of cores: block ``(i, j)`` holds the weights connecting input
+features *produced on core i* to output features *computed on core j*.  Group
+Lasso is applied at this block granularity; a block whose weights all converge
+to zero means core ``i`` never needs to send its feature maps to core ``j``.
+
+:class:`CoreBlockPartition` materializes that partition for dense and conv
+weight layouts, and provides block views, block norms, zero masks, and group
+pruning used by both the training regularizers and the traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "split_boundaries",
+    "block_of",
+    "CoreBlockPartition",
+    "GroupNormSummary",
+]
+
+
+def split_boundaries(total: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous (start, stop) ranges splitting ``total`` items into ``parts``.
+
+    When ``total`` is not divisible, earlier parts get one extra element, the
+    same convention as ``np.array_split``.  Parts may be empty when
+    ``parts > total``, which models cores that receive no channels.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, parts)
+    bounds = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def block_of(index: int, boundaries: list[tuple[int, int]]) -> int:
+    """Which block a channel index falls into."""
+    for b, (start, stop) in enumerate(boundaries):
+        if start <= index < stop:
+            return b
+    raise IndexError(f"index {index} outside boundaries {boundaries}")
+
+
+@dataclass(frozen=True)
+class GroupNormSummary:
+    """Aggregate statistics of the block-norm matrix of one parameter."""
+
+    norms: np.ndarray  # (P, P) block L2 norms
+    zero_fraction: float  # fraction of blocks that are exactly zero
+    offdiag_zero_fraction: float  # zero fraction among producer != consumer blocks
+
+
+class CoreBlockPartition:
+    """(producer core, consumer core) block partition of a weight tensor.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the parameter tensor.
+    kind:
+        ``"dense"`` for ``(in_features, out_features)`` matrices, where rows
+        are producer features and columns consumer features; ``"conv"`` for
+        ``(out_channels, in_channels, kh, kw)`` kernels, where ``in_channels``
+        are producer channels and ``out_channels`` consumer channels.
+    num_cores:
+        Number of cores ``P``; the tensor is partitioned into ``P x P`` blocks.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        kind: str,
+        num_cores: int,
+        producer_bounds: list[tuple[int, int]] | None = None,
+        consumer_bounds: list[tuple[int, int]] | None = None,
+    ) -> None:
+        if kind not in ("dense", "conv"):
+            raise ValueError(f"kind must be 'dense' or 'conv', got {kind!r}")
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        if kind == "dense" and len(shape) != 2:
+            raise ValueError(f"dense partition needs a 2-D shape, got {shape}")
+        if kind == "conv" and len(shape) != 4:
+            raise ValueError(f"conv partition needs a 4-D shape, got {shape}")
+        self.shape = tuple(shape)
+        self.kind = kind
+        self.num_cores = num_cores
+
+        if kind == "dense":
+            producer_total, consumer_total = shape
+        else:
+            consumer_total, producer_total = shape[0], shape[1]
+        self.producer_bounds = (
+            producer_bounds
+            if producer_bounds is not None
+            else split_boundaries(producer_total, num_cores)
+        )
+        self.consumer_bounds = (
+            consumer_bounds
+            if consumer_bounds is not None
+            else split_boundaries(consumer_total, num_cores)
+        )
+        if len(self.producer_bounds) != num_cores or len(self.consumer_bounds) != num_cores:
+            raise ValueError(
+                f"need exactly {num_cores} producer and consumer blocks, got "
+                f"{len(self.producer_bounds)} and {len(self.consumer_bounds)}"
+            )
+        self._validate_bounds(self.producer_bounds, producer_total, "producer")
+        self._validate_bounds(self.consumer_bounds, consumer_total, "consumer")
+
+    @staticmethod
+    def _validate_bounds(
+        bounds: list[tuple[int, int]], total: int, role: str
+    ) -> None:
+        """Custom boundaries must tile [0, total) contiguously."""
+        expected_start = 0
+        for start, stop in bounds:
+            if start != expected_start or stop < start:
+                raise ValueError(
+                    f"{role} boundaries {bounds} do not tile [0, {total}) contiguously"
+                )
+            expected_start = stop
+        if expected_start != total:
+            raise ValueError(
+                f"{role} boundaries {bounds} cover [0, {expected_start}), expected "
+                f"[0, {total})"
+            )
+
+    # -- block access ------------------------------------------------------------
+
+    def block_slices(self, producer: int, consumer: int) -> tuple[slice, ...]:
+        """Numpy index selecting block ``(producer, consumer)`` of the tensor."""
+        p0, p1 = self.producer_bounds[producer]
+        c0, c1 = self.consumer_bounds[consumer]
+        if self.kind == "dense":
+            return (slice(p0, p1), slice(c0, c1))
+        return (slice(c0, c1), slice(p0, p1))
+
+    def block_view(self, weights: np.ndarray, producer: int, consumer: int) -> np.ndarray:
+        """View of block ``(producer, consumer)`` (mutating it mutates weights)."""
+        self._check(weights)
+        return weights[self.block_slices(producer, consumer)]
+
+    def _check(self, weights: np.ndarray) -> None:
+        if weights.shape != self.shape:
+            raise ValueError(
+                f"weight shape {weights.shape} does not match partition shape "
+                f"{self.shape}"
+            )
+
+    # -- block statistics -----------------------------------------------------------
+
+    def block_norms(self, weights: np.ndarray) -> np.ndarray:
+        """(P, P) matrix of block L2 norms, indexed [producer, consumer]."""
+        self._check(weights)
+        p = self.num_cores
+        norms = np.zeros((p, p), dtype=np.float64)
+        for i in range(p):
+            for j in range(p):
+                block = weights[self.block_slices(i, j)]
+                norms[i, j] = np.sqrt(np.sum(block ** 2)) if block.size else 0.0
+        return norms
+
+    def block_sizes(self) -> np.ndarray:
+        """(P, P) matrix of block element counts."""
+        p = self.num_cores
+        sizes = np.zeros((p, p), dtype=np.int64)
+        elem = int(np.prod(self.shape[2:])) if self.kind == "conv" else 1
+        for i in range(p):
+            pi = self.producer_bounds[i][1] - self.producer_bounds[i][0]
+            for j in range(p):
+                cj = self.consumer_bounds[j][1] - self.consumer_bounds[j][0]
+                sizes[i, j] = pi * cj * elem
+        return sizes
+
+    def zero_mask(self, weights: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        """(P, P) boolean matrix; True where the block norm is <= ``tol``.
+
+        A True entry at ``[i, j]`` means core ``i`` does not need to send its
+        feature maps to core ``j`` for this layer (empty blocks count as zero).
+        """
+        return self.block_norms(weights) <= tol
+
+    def summarize(self, weights: np.ndarray, tol: float = 0.0) -> GroupNormSummary:
+        """Block-norm statistics used by reports and tests."""
+        norms = self.block_norms(weights)
+        zero = norms <= tol
+        p = self.num_cores
+        off = ~np.eye(p, dtype=bool)
+        offdiag_zero = float(np.mean(zero[off])) if p > 1 else 0.0
+        return GroupNormSummary(
+            norms=norms,
+            zero_fraction=float(np.mean(zero)),
+            offdiag_zero_fraction=offdiag_zero,
+        )
+
+    # -- pruning ----------------------------------------------------------------------
+
+    def prune_blocks(
+        self, weights: np.ndarray, threshold: float, protect_diagonal: bool = True
+    ) -> np.ndarray:
+        """Zero every block whose RMS weight magnitude is below ``threshold``.
+
+        RMS (rather than raw L2) keeps the threshold comparable across blocks
+        of different sizes.  Diagonal blocks carry no communication cost, so by
+        default they are never pruned — pruning them would only hurt accuracy.
+        Returns the (P, P) boolean mask of blocks that were zeroed.
+        """
+        self._check(weights)
+        p = self.num_cores
+        pruned = np.zeros((p, p), dtype=bool)
+        for i in range(p):
+            for j in range(p):
+                if protect_diagonal and i == j:
+                    continue
+                block = weights[self.block_slices(i, j)]
+                if block.size == 0:
+                    continue
+                rms = np.sqrt(np.mean(block ** 2))
+                if rms < threshold:
+                    block[...] = 0.0
+                    pruned[i, j] = True
+        return pruned
+
+    def apply_block_mask(self, weights: np.ndarray, keep: np.ndarray) -> None:
+        """Zero all blocks where ``keep[i, j]`` is False (in place)."""
+        self._check(weights)
+        p = self.num_cores
+        if keep.shape != (p, p):
+            raise ValueError(f"mask shape {keep.shape} != ({p}, {p})")
+        for i in range(p):
+            for j in range(p):
+                if not keep[i, j]:
+                    weights[self.block_slices(i, j)][...] = 0.0
+
+    # -- traffic-facing queries ----------------------------------------------------------
+
+    def required_transfers(self, weights: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        """(P, P) boolean matrix: does core ``i`` send feature maps to core ``j``.
+
+        The diagonal is always False: data consumed on the core that produced
+        it never crosses the NoC.
+        """
+        need = ~self.zero_mask(weights, tol=tol)
+        np.fill_diagonal(need, False)
+        return need
+
+    def producer_channels(self, core: int) -> tuple[int, int]:
+        """(start, stop) range of producer channels assigned to ``core``."""
+        return self.producer_bounds[core]
+
+    def consumer_channels(self, core: int) -> tuple[int, int]:
+        """(start, stop) range of consumer channels assigned to ``core``."""
+        return self.consumer_bounds[core]

@@ -1,0 +1,148 @@
+"""Partition plans: how a network's layers are split across cores.
+
+A :class:`ModelParallelPlan` is the common product of all three schemes
+(traditional / structure-level / sparsified).  Per compute layer it records:
+
+* the output-channel slice each core computes,
+* how many input channels each core actually consumes (full input for the
+  traditional scheme, ``C/g`` under grouping, the surviving channels under
+  block sparsity), and
+* the inbound synchronization traffic that must drain before the layer can
+  run, as a :class:`~repro.noc.traffic.TrafficMatrix`.
+
+The end-to-end simulator (``repro.sim``) consumes plans directly; it never
+needs to know which scheme produced one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accel.core import CoreWorkload
+from ..models.spec import LayerSpec
+from ..noc.traffic import TrafficMatrix
+
+__all__ = ["LayerPlan", "ModelParallelPlan", "feature_bounds_from_channels"]
+
+
+def feature_bounds_from_channels(
+    channel_bounds: list[tuple[int, int]], values_per_channel: int
+) -> list[tuple[int, int]]:
+    """Translate channel block boundaries into flattened-feature boundaries.
+
+    After ``Flatten``, channel ``c`` of a ``(C, H, W)`` tensor occupies the
+    contiguous feature range ``[c*H*W, (c+1)*H*W)`` (channel-major layout), so
+    a physical per-core channel layout maps to per-core feature blocks by
+    scaling with ``H*W``.
+    """
+    if values_per_channel <= 0:
+        raise ValueError(f"values_per_channel must be positive, got {values_per_channel}")
+    return [(a * values_per_channel, b * values_per_channel) for a, b in channel_bounds]
+
+
+@dataclass
+class LayerPlan:
+    """The split of one compute layer across the cores.
+
+    Attributes
+    ----------
+    layer:
+        Geometry of the layer.
+    out_bounds:
+        Per-core (start, stop) output-channel (or feature) slice.
+    core_workloads:
+        Per-core :class:`CoreWorkload` describing the compute the core
+        performs (carries how many input channels it consumes and, for
+        layers with several groups per core, the repeat count).
+    traffic:
+        Inbound synchronization traffic before this layer executes.
+    """
+
+    layer: LayerSpec
+    out_bounds: list[tuple[int, int]]
+    core_workloads: list[CoreWorkload]
+    traffic: TrafficMatrix
+
+    def __post_init__(self) -> None:
+        p = len(self.out_bounds)
+        if len(self.core_workloads) != p:
+            raise ValueError(
+                f"{self.layer.name}: {p} output slices but "
+                f"{len(self.core_workloads)} workloads"
+            )
+        if self.traffic.num_nodes != p:
+            raise ValueError(
+                f"{self.layer.name}: traffic matrix is {self.traffic.num_nodes}-way "
+                f"but plan has {p} cores"
+            )
+        covered = sum(b - a for a, b in self.out_bounds)
+        if covered != self.layer.out_channels:
+            raise ValueError(
+                f"{self.layer.name}: output slices cover {covered} of "
+                f"{self.layer.out_channels} channels"
+            )
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.out_bounds)
+
+    def workload(self, core: int) -> CoreWorkload:
+        """The :class:`CoreWorkload` of one core for this layer."""
+        return self.core_workloads[core]
+
+    def workloads(self) -> list[CoreWorkload]:
+        return list(self.core_workloads)
+
+    @property
+    def in_channels_used(self) -> list[int]:
+        """Per-core input channels consumed (one group's worth when repeated)."""
+        return [w.in_channels_used for w in self.core_workloads]
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs across cores (may be below the dense layer's MACs
+        under grouping/sparsity, reflecting the skipped computation)."""
+        return sum(w.macs for w in self.core_workloads)
+
+    @property
+    def max_core_macs(self) -> int:
+        """MACs of the busiest core — the compute critical path."""
+        return max((w.macs for w in self.core_workloads), default=0)
+
+
+@dataclass
+class ModelParallelPlan:
+    """A full network mapped onto the chip under one scheme."""
+
+    name: str
+    scheme: str  # traditional | structure | sparsified
+    num_cores: int
+    layers: list[LayerPlan] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for lp in self.layers:
+            if lp.num_cores != self.num_cores:
+                raise ValueError(
+                    f"layer {lp.layer.name!r} planned for {lp.num_cores} cores, "
+                    f"plan is for {self.num_cores}"
+                )
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(lp.traffic.total_bytes for lp in self.layers)
+
+    def traffic_by_layer(self) -> dict[str, int]:
+        return {lp.layer.name: lp.traffic.total_bytes for lp in self.layers}
+
+    @property
+    def total_macs(self) -> int:
+        return sum(lp.total_macs for lp in self.layers)
+
+    def traffic_rate_vs(self, baseline: "ModelParallelPlan") -> float:
+        """Fraction of the baseline's NoC bytes this plan moves (Table IV metric)."""
+        base = baseline.total_traffic_bytes
+        if base == 0:
+            return 0.0 if self.total_traffic_bytes == 0 else float(np.inf)
+        return self.total_traffic_bytes / base

@@ -1,0 +1,196 @@
+"""Communication-aware sparsified parallelization (§IV.C).
+
+The network is trained with group Lasso over (producer-core, consumer-core)
+weight blocks (see :mod:`repro.nn.regularizers` and
+:mod:`repro.train.sparsify`); whatever block pattern training converges to,
+this module turns the trained weights into a partition plan whose traffic
+matrix reflects the zeros:
+
+* an input channel whose weights in a consumer core's slice are *all* zero
+  need not be sent to that core (Fig. 5 of the paper);
+* the analysis is per-channel, so it credits both whole zero blocks (the
+  group-Lasso outcome) and any incidental per-channel zeros.
+
+:func:`layer_block_partitions` builds the exact :class:`CoreBlockPartition`
+objects the trainer must regularize so that training-time groups and
+mapping-time traffic agree on which weights belong to which core pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accel.core import CoreWorkload
+from ..models.spec import LayerSpec, NetworkSpec
+from ..nn.network import Sequential
+from ..nn.sparsity import CoreBlockPartition
+from .layout import default_out_bounds, producer_layout_for, traffic_from_needs
+from .plan import LayerPlan, ModelParallelPlan, feature_bounds_from_channels
+
+__all__ = [
+    "layer_block_partitions",
+    "sparsified_needs",
+    "build_sparsified_plan",
+]
+
+
+def _iter_compute_layers(spec: NetworkSpec, num_cores: int):
+    """Yield (layer, prev_layer, prev_bounds, out_bounds) over compute layers."""
+    prev_layer: LayerSpec | None = None
+    prev_bounds: list[tuple[int, int]] | None = None
+    for layer in spec.compute_layers():
+        out_bounds = default_out_bounds(layer, num_cores)
+        yield layer, prev_layer, prev_bounds, out_bounds
+        prev_layer, prev_bounds = layer, out_bounds
+
+
+def layer_block_partitions(
+    model: Sequential, num_cores: int
+) -> dict[str, CoreBlockPartition]:
+    """Core-block partitions for every sparsifiable weight tensor.
+
+    Keys are qualified parameter names (``conv2.weight``).  The first compute
+    layer is excluded — its input is the network input, broadcast from
+    memory, so sparsifying its blocks would save no communication.  Producer
+    boundaries follow the *physical* layout of the previous layer's output
+    (channel blocks scaled by the feature-map size for dense-after-conv), so
+    regularized groups and traffic analysis always line up.
+    """
+    spec = NetworkSpec.from_sequential(model)
+    partitions: dict[str, CoreBlockPartition] = {}
+    for layer, prev_layer, prev_bounds, out_bounds in _iter_compute_layers(
+        spec, num_cores
+    ):
+        if prev_layer is None:
+            continue
+        if layer.kind == "conv" and layer.groups != 1:
+            raise ValueError(
+                f"{layer.name}: sparsified parallelization expects a dense "
+                f"(ungrouped) baseline, got groups={layer.groups}"
+            )
+        param = model.get_parameter(f"{layer.name}.weight")
+        if layer.kind == "conv":
+            partitions[param.name] = CoreBlockPartition(
+                param.shape,
+                "conv",
+                num_cores,
+                producer_bounds=list(prev_bounds),
+                consumer_bounds=list(out_bounds),
+            )
+        else:
+            if prev_layer.kind == "conv":
+                per_channel = layer.in_shape[0] // prev_layer.out_channels
+                producer = feature_bounds_from_channels(prev_bounds, per_channel)
+            else:
+                producer = list(prev_bounds)
+            partitions[param.name] = CoreBlockPartition(
+                param.shape,
+                "dense",
+                num_cores,
+                producer_bounds=producer,
+                consumer_bounds=list(out_bounds),
+            )
+    return partitions
+
+
+def sparsified_needs(
+    layer: LayerSpec,
+    weights: np.ndarray,
+    out_bounds: list[tuple[int, int]],
+    tol: float = 0.0,
+) -> np.ndarray:
+    """(num_inputs, num_cores) need table from the weight zero pattern.
+
+    ``needs[c, j]`` is True when any weight connecting input index ``c`` to
+    consumer core ``j``'s output slice exceeds ``tol`` in magnitude.
+    """
+    p = len(out_bounds)
+    if layer.kind == "conv":
+        if weights.shape[:2] != (layer.out_channels, layer.in_channels):
+            raise ValueError(
+                f"{layer.name}: weight shape {weights.shape} does not match "
+                f"({layer.out_channels}, {layer.in_channels}, k, k)"
+            )
+        # Max |w| per (output channel, input channel) pair.
+        per_pair = np.abs(weights).max(axis=(2, 3))
+        num_inputs = layer.in_channels
+        needs = np.zeros((num_inputs, p), dtype=bool)
+        for j, (o0, o1) in enumerate(out_bounds):
+            if o1 > o0:
+                needs[:, j] = per_pair[o0:o1, :].max(axis=0) > tol
+        return needs
+    if layer.kind == "dense":
+        in_features = layer.in_shape[0]
+        if weights.shape != (in_features, layer.out_channels):
+            raise ValueError(
+                f"{layer.name}: weight shape {weights.shape} does not match "
+                f"({in_features}, {layer.out_channels})"
+            )
+        needs = np.zeros((in_features, p), dtype=bool)
+        per_abs = np.abs(weights)
+        for j, (o0, o1) in enumerate(out_bounds):
+            if o1 > o0:
+                needs[:, j] = per_abs[:, o0:o1].max(axis=1) > tol
+        return needs
+    raise ValueError(f"{layer.name}: not a compute layer ({layer.kind})")
+
+
+def build_sparsified_plan(
+    model: Sequential,
+    num_cores: int,
+    tol: float = 0.0,
+    bytes_per_value: int = 2,
+    scheme: str = "sparsified",
+) -> ModelParallelPlan:
+    """Partition plan of a trained (possibly block-sparse) model.
+
+    Works for any trained model: a dense baseline yields the traditional
+    plan's traffic; group-Lasso-trained weights yield correspondingly
+    thinner traffic.  ``tol`` treats tiny weights as zero (useful when the
+    optimizer got close to, but not exactly, zero).
+    """
+    spec = NetworkSpec.from_sequential(model)
+    plan = ModelParallelPlan(
+        name=spec.name, scheme=scheme, num_cores=num_cores, layers=[]
+    )
+    for layer, prev_layer, prev_bounds, out_bounds in _iter_compute_layers(
+        spec, num_cores
+    ):
+        layout = producer_layout_for(layer, prev_layer, prev_bounds, num_cores)
+        weights = model.get_parameter(f"{layer.name}.weight").data
+        if not np.all(np.isfinite(weights)):
+            # A non-finite weight would silently read as "prunable" below
+            # (NaN comparisons are False); that is a training failure, not a
+            # communication saving.
+            raise ValueError(
+                f"{layer.name}: weights contain non-finite values; "
+                "the model did not train successfully"
+            )
+        if layout is None:
+            # First layer: inputs broadcast from memory; full dense compute.
+            num_inputs = (
+                layer.in_channels if layer.kind == "conv" else layer.in_shape[0]
+            )
+            needs = np.ones((num_inputs, num_cores), dtype=bool)
+        else:
+            needs = sparsified_needs(layer, weights, out_bounds, tol=tol)
+        traffic = traffic_from_needs(
+            layout, needs, bytes_per_value, label=f"{spec.name}/{layer.name}"
+        )
+        workloads = [
+            CoreWorkload(
+                layer=layer,
+                out_channels=stop - start,
+                in_channels_used=int(needs[:, core].sum()) if stop > start else 0,
+            )
+            for core, (start, stop) in enumerate(out_bounds)
+        ]
+        plan.layers.append(
+            LayerPlan(
+                layer=layer,
+                out_bounds=out_bounds,
+                core_workloads=workloads,
+                traffic=traffic,
+            )
+        )
+    return plan

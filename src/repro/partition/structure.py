@@ -1,0 +1,77 @@
+"""Structure-level parallelization (§IV.B).
+
+The network itself is modified: selected convolutional layers are split into
+``n`` non-interacting groups (AlexNet-style "grouping"), so that when each
+group is mapped onto one core, the layer consumes only locally produced
+feature maps — no synchronization traffic and ``n`` times fewer MACs for the
+grouped layers.  The cost is a potential accuracy drop (the grouped model is
+a strictly weaker function class), which the paper recovers by widening the
+network (Parallel#3).
+
+Mechanically a structure-level plan is just the traditional mapping of the
+*grouped* spec, so this module provides the spec transformation plus a thin
+builder that labels the plan correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..models.spec import LayerSpec, NetworkSpec
+from .plan import ModelParallelPlan
+from .traditional import build_traditional_plan
+
+__all__ = ["with_groups", "build_structure_plan"]
+
+
+def with_groups(spec: NetworkSpec, group_map: dict[str, int]) -> NetworkSpec:
+    """A copy of ``spec`` with selected conv layers split into groups.
+
+    ``group_map`` maps layer names to their new group counts.  Channel counts
+    must divide evenly; other layers are untouched.  The returned spec's name
+    records the transformation.
+    """
+    unknown = set(group_map) - {l.name for l in spec.layers}
+    if unknown:
+        raise ValueError(f"group_map names unknown layers: {sorted(unknown)}")
+    new_layers: list[LayerSpec] = []
+    for layer in spec.layers:
+        g = group_map.get(layer.name)
+        if g is None:
+            new_layers.append(layer)
+            continue
+        if layer.kind != "conv":
+            raise ValueError(
+                f"{layer.name}: grouping applies to conv layers, not {layer.kind}"
+            )
+        if g < 1:
+            raise ValueError(f"{layer.name}: groups must be >= 1, got {g}")
+        if layer.in_channels % g or layer.out_channels % g:
+            raise ValueError(
+                f"{layer.name}: channels ({layer.in_channels}, "
+                f"{layer.out_channels}) not divisible by groups={g}"
+            )
+        new_layers.append(replace(layer, groups=g))
+    suffix = ",".join(f"{k}:{v}" for k, v in sorted(group_map.items()))
+    return NetworkSpec(
+        name=f"{spec.name}[{suffix}]",
+        input_shape=spec.input_shape,
+        layers=new_layers,
+    )
+
+
+def build_structure_plan(
+    spec: NetworkSpec,
+    num_cores: int,
+    group_map: dict[str, int] | None = None,
+    bytes_per_value: int = 2,
+) -> ModelParallelPlan:
+    """Plan for a structure-level parallelized network.
+
+    ``group_map`` may be omitted when ``spec`` already carries groups (e.g.
+    specs built by :func:`repro.models.table3_convnet_spec`).
+    """
+    grouped = with_groups(spec, group_map) if group_map else spec
+    return build_traditional_plan(
+        grouped, num_cores, bytes_per_value=bytes_per_value, scheme="structure"
+    )

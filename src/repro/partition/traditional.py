@@ -1,0 +1,138 @@
+"""Traditional parallelization — the paper's baseline (§IV.A).
+
+Every compute layer's output channels are split evenly across the cores; each
+core broadcasts its slice of the produced feature maps to every core that
+needs them before the next layer starts.  For a fully-connected or ungrouped
+convolutional layer that means *all* other cores; a grouped layer (AlexNet's
+native ``groups=2``, or the structure-level variants built in
+:mod:`repro.partition.structure`) confines the broadcast to the cores sharing
+each group — with ``groups == num_cores`` the transition needs no NoC traffic
+at all.
+
+The same machinery therefore builds both the traditional baseline plan (from
+the unmodified spec) and the structure-level plan (from a grouped spec); the
+two differ only in the network they describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accel.core import CoreWorkload
+from ..models.spec import LayerSpec, NetworkSpec
+from .layout import (
+    ProducerLayout,
+    default_out_bounds,
+    producer_layout_for,
+    traffic_from_needs,
+)
+from .plan import LayerPlan, ModelParallelPlan
+
+__all__ = ["build_traditional_plan", "grouped_needs", "grouped_workloads"]
+
+
+def grouped_needs(layer: LayerSpec, out_bounds: list[tuple[int, int]]) -> np.ndarray:
+    """(num_inputs, num_cores) table: which input indices each core needs.
+
+    With ``groups = 1`` every consumer needs every input.  With grouping, the
+    consumer's needed inputs are the union of the input ranges of the groups
+    it computes.
+    """
+    num_inputs = layer.in_channels if layer.kind == "conv" else layer.in_shape[0]
+    p = len(out_bounds)
+    g = layer.groups
+    needs = np.zeros((num_inputs, p), dtype=bool)
+    if g <= 1:
+        for core, (start, stop) in enumerate(out_bounds):
+            if stop > start:
+                needs[:, core] = True
+        return needs
+    per_group_out = layer.out_channels // g
+    per_group_in = num_inputs // g
+    for core, (start, stop) in enumerate(out_bounds):
+        if stop <= start:
+            continue
+        first_group = start // per_group_out
+        last_group = (stop - 1) // per_group_out
+        for gi in range(first_group, last_group + 1):
+            needs[gi * per_group_in:(gi + 1) * per_group_in, core] = True
+    return needs
+
+
+def grouped_workloads(
+    layer: LayerSpec, out_bounds: list[tuple[int, int]]
+) -> list[CoreWorkload]:
+    """Per-core compute workloads honouring the layer's group structure."""
+    num_inputs = layer.in_channels if layer.kind == "conv" else layer.in_shape[0]
+    g = layer.groups
+    works = []
+    for start, stop in out_bounds:
+        size = stop - start
+        if size == 0:
+            works.append(CoreWorkload(layer=layer, out_channels=0, in_channels_used=0))
+            continue
+        if g <= 1:
+            works.append(
+                CoreWorkload(layer=layer, out_channels=size, in_channels_used=num_inputs)
+            )
+            continue
+        per_group_out = layer.out_channels // g
+        per_group_in = num_inputs // g
+        if size <= per_group_out:
+            # A slice of a single group.
+            works.append(
+                CoreWorkload(
+                    layer=layer, out_channels=size, in_channels_used=per_group_in
+                )
+            )
+        else:
+            # Whole groups stacked on one core.
+            if size % per_group_out:
+                raise ValueError(
+                    f"{layer.name}: slice of {size} channels straddles group "
+                    f"boundaries (group size {per_group_out})"
+                )
+            works.append(
+                CoreWorkload(
+                    layer=layer,
+                    out_channels=per_group_out,
+                    in_channels_used=per_group_in,
+                    repeats=size // per_group_out,
+                )
+            )
+    return works
+
+
+def build_traditional_plan(
+    spec: NetworkSpec,
+    num_cores: int,
+    bytes_per_value: int = 2,
+    scheme: str = "traditional",
+) -> ModelParallelPlan:
+    """Map a network onto ``num_cores`` with even splits and full broadcasts.
+
+    The first compute layer reads the network input from memory (no NoC
+    traffic), matching Table I, which reports no entry for conv1.
+    """
+    plan = ModelParallelPlan(
+        name=spec.name, scheme=scheme, num_cores=num_cores, layers=[]
+    )
+    prev_layer: LayerSpec | None = None
+    prev_bounds: list[tuple[int, int]] | None = None
+    for layer in spec.compute_layers():
+        out_bounds = default_out_bounds(layer, num_cores)
+        layout = producer_layout_for(layer, prev_layer, prev_bounds, num_cores)
+        needs = grouped_needs(layer, out_bounds)
+        traffic = traffic_from_needs(
+            layout, needs, bytes_per_value, label=f"{spec.name}/{layer.name}"
+        )
+        plan.layers.append(
+            LayerPlan(
+                layer=layer,
+                out_bounds=out_bounds,
+                core_workloads=grouped_workloads(layer, out_bounds),
+                traffic=traffic,
+            )
+        )
+        prev_layer, prev_bounds = layer, out_bounds
+    return plan

@@ -1,0 +1,15 @@
+"""End-to-end inference simulation: compute + NoC + (optional) DRAM."""
+
+from .engine import InferenceSimulator, SimConfig
+from .results import LayerTimeline, SimulationResult
+from .throughput import DeploymentComparison, compare_deployments, single_core_latency
+
+__all__ = [
+    "InferenceSimulator",
+    "SimConfig",
+    "LayerTimeline",
+    "SimulationResult",
+    "DeploymentComparison",
+    "compare_deployments",
+    "single_core_latency",
+]

@@ -1,0 +1,190 @@
+"""End-to-end single-pass inference simulation.
+
+Combines the three hardware models:
+
+* per-core compute time from the DianNao core model (busiest core is the
+  layer's critical path — cores synchronize at layer boundaries);
+* computation-blocking communication time from the NoC: the layer-transition
+  burst is injected at cycle 0 and the drain time (in NoC cycles, converted
+  by the core/NoC clock ratio) is charged before the layer's compute;
+* optional DRAM weight streaming overlapped with compute (off by default:
+  the paper's latency model assumes resident weights — see DESIGN.md).
+
+Communication simulation modes
+------------------------------
+``cycle``        exact cycle-level simulation of the full burst;
+``scaled-cycle`` for very large bursts: the traffic matrix is scaled down to
+                 a configurable flit budget, simulated, and the drain time
+                 extrapolated linearly in load above the zero-load latency
+                 (drain time of a fixed pattern is bandwidth-limited, hence
+                 ~linear in volume; tests check the extrapolation error);
+``analytical``   closed-form bound only (used when cycle accuracy is not
+                 needed, e.g. quick sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.chip import ChipConfig
+from ..noc.analytical import estimate_drain_cycles
+from ..noc.energy import EnergyBreakdown
+from ..noc.network import NoCSimulator
+from ..noc.traffic import TrafficMatrix
+from ..partition.plan import LayerPlan, ModelParallelPlan
+from .results import LayerTimeline, SimulationResult
+
+__all__ = ["SimConfig", "InferenceSimulator"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine options."""
+
+    comm_mode: str = "auto"  # auto | cycle | analytical
+    max_cycle_sim_flits: int = 60_000
+    include_dram: bool = False
+    # Charge the scheme-independent cost of fetching the input image from
+    # DRAM and broadcasting it to all cores before the first layer.
+    include_input_load: bool = True
+
+    def __post_init__(self) -> None:
+        if self.comm_mode not in ("auto", "cycle", "analytical"):
+            raise ValueError(
+                f"comm_mode must be auto|cycle|analytical, got {self.comm_mode!r}"
+            )
+        if self.max_cycle_sim_flits < 1000:
+            raise ValueError("max_cycle_sim_flits unrealistically small")
+
+
+class InferenceSimulator:
+    """Simulate single-pass inference latency/energy of a partition plan."""
+
+    def __init__(self, chip: ChipConfig, config: SimConfig | None = None) -> None:
+        self.chip = chip
+        self.config = config or SimConfig()
+        self._core_model = chip.core_model()
+
+    # -- public API ------------------------------------------------------------------
+
+    def simulate(self, plan: ModelParallelPlan) -> SimulationResult:
+        if plan.num_cores != self.chip.num_cores:
+            raise ValueError(
+                f"plan is for {plan.num_cores} cores, chip has {self.chip.num_cores}"
+            )
+        result = SimulationResult(
+            model_name=plan.name, scheme=plan.scheme, num_cores=plan.num_cores
+        )
+        if self.config.include_input_load and plan.layers:
+            cycles, energy = self._input_load(plan.layers[0])
+            result.input_load_cycles = cycles
+            result.input_load_energy_j = energy
+        for layer_plan in plan.layers:
+            result.layers.append(self._simulate_layer(layer_plan))
+        return result
+
+    def _input_load(self, first_layer: LayerPlan) -> tuple[int, float]:
+        """Cycles/energy to fetch the input from DRAM and distribute it.
+
+        The image streams once through the memory controller and is
+        multicast to the cores (every core needs the full input of the first
+        layer, so a broadcast tree replicates flits in the fabric rather
+        than unicasting per core).  The distribution therefore pipelines
+        behind the DRAM stream and only adds the multicast tree's fill
+        latency — the network diameter's worth of router hops.
+        """
+        chip = self.chip
+        input_bytes = int(np.prod(first_layer.layer.in_shape)) * chip.bytes_per_value
+        dram_cycles = chip.dram.transfer_cycles(input_bytes)
+        cfg = chip.noc
+        per_noc_cycle = cfg.flit_bytes * cfg.physical_channels
+        stream_noc_cycles = -(-input_bytes // per_noc_cycle)
+        fill = chip.mesh.diameter * (cfg.router_stages + cfg.link_latency)
+        noc_cycles = (stream_noc_cycles + fill) * cfg.core_clock_divider
+        energy = chip.dram.transfer_energy_j(input_bytes)
+        return max(dram_cycles, noc_cycles), energy
+
+    # -- per-layer ---------------------------------------------------------------------
+
+    def _simulate_layer(self, lp: LayerPlan) -> LayerTimeline:
+        chip = self.chip
+        compute_cycles = max(
+            (self._core_model.compute_cycles(w) for w in lp.workloads()), default=0
+        )
+        comm_cycles, flit_hops, noc_energy, mode = self._communication(lp.traffic)
+
+        compute_energy = sum(
+            chip.compute_energy.workload_energy_j(w, self._core_model)
+            for w in lp.workloads()
+        )
+        compute_energy += chip.compute_energy.static_energy_j(
+            compute_cycles, chip.num_cores
+        )
+
+        dram_cycles = 0
+        dram_energy = 0.0
+        if self.config.include_dram:
+            weight_bytes = sum(
+                self._core_model.weight_stream_bytes(w) for w in lp.workloads()
+            )
+            dram_cycles = chip.dram.transfer_cycles(weight_bytes)
+            dram_energy = chip.dram.transfer_energy_j(weight_bytes)
+
+        return LayerTimeline(
+            layer_name=lp.layer.name,
+            compute_cycles=compute_cycles,
+            comm_cycles=comm_cycles,
+            dram_cycles=dram_cycles,
+            traffic_bytes=lp.traffic.total_bytes,
+            flit_hops=flit_hops,
+            noc_energy=noc_energy,
+            compute_energy_j=compute_energy,
+            dram_energy_j=dram_energy,
+            comm_mode=mode,
+        )
+
+    def _communication(
+        self, traffic: TrafficMatrix
+    ) -> tuple[int, int, EnergyBreakdown, str]:
+        """(core cycles, flit hops, NoC energy, mode) for one layer's burst."""
+        chip = self.chip
+        cfg = chip.noc
+        if traffic.total_bytes == 0:
+            return 0, 0, EnergyBreakdown(0, 0, 0, 0), "none"
+
+        total_flits = sum(p.num_flits for p in traffic.to_packets(cfg))
+        mode = self.config.comm_mode
+        if mode == "auto":
+            mode = "cycle" if total_flits <= self.config.max_cycle_sim_flits else "scaled-cycle"
+
+        if mode == "analytical":
+            est = estimate_drain_cycles(traffic, chip.mesh, cfg)
+            energy = chip.noc_energy.analytical_energy(traffic, chip.mesh, cfg)
+            flit_hops = traffic.total_flit_hops(chip.mesh, cfg)
+            return est.cycles * cfg.core_clock_divider, flit_hops, energy, "analytical"
+
+        if mode == "cycle":
+            noc_cycles, flit_hops, energy = self._cycle_sim(traffic)
+            return noc_cycles * cfg.core_clock_divider, flit_hops, energy, "cycle"
+
+        # scaled-cycle: simulate a scaled pattern and extrapolate linearly in
+        # load above the zero-load head latency.
+        scale = self.config.max_cycle_sim_flits / total_flits
+        scaled = traffic.scaled(scale)
+        noc_cycles, _, _ = self._cycle_sim(scaled)
+        head = estimate_drain_cycles(traffic, chip.mesh, cfg).head_latency
+        drain = max(0, noc_cycles - head)
+        noc_cycles_full = int(drain / scale) + head
+        # Energy scales exactly with the real traffic (analytical accounting).
+        energy = chip.noc_energy.analytical_energy(traffic, chip.mesh, cfg)
+        flit_hops = traffic.total_flit_hops(chip.mesh, cfg)
+        return noc_cycles_full * cfg.core_clock_divider, flit_hops, energy, "scaled-cycle"
+
+    def _cycle_sim(self, traffic: TrafficMatrix) -> tuple[int, int, EnergyBreakdown]:
+        sim = NoCSimulator(self.chip.mesh, self.chip.noc)
+        sim.inject(traffic.to_packets(self.chip.noc))
+        stats = sim.run()
+        energy = self.chip.noc_energy.simulation_energy(stats, self.chip.mesh.num_nodes)
+        return stats.cycles, stats.flit_hops, energy

@@ -1,0 +1,14 @@
+"""Training procedures: baseline training and the SS / SS_Mask recipes."""
+
+from .sparsify import SparsifyConfig, SparsifyResult, sparsity_report, train_sparsified
+from .trainer import TrainConfig, TrainHistory, Trainer
+
+__all__ = [
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "SparsifyConfig",
+    "SparsifyResult",
+    "train_sparsified",
+    "sparsity_report",
+]

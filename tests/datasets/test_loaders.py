@@ -1,0 +1,70 @@
+"""Tests for minibatch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DataLoader
+
+
+def make_data(n=25, features=3):
+    x = np.arange(n * features, dtype=np.float64).reshape(n, features)
+    y = np.arange(n)
+    return x, y
+
+
+class TestDataLoader:
+    def test_covers_every_sample_once(self):
+        x, y = make_data()
+        loader = DataLoader(x, y, batch_size=4, shuffle=True, seed=0)
+        seen = np.concatenate([yb for _, yb in loader])
+        assert sorted(seen.tolist()) == list(range(25))
+
+    def test_batch_sizes(self):
+        x, y = make_data(10)
+        sizes = [len(yb) for _, yb in DataLoader(x, y, batch_size=4, shuffle=False)]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        x, y = make_data(10)
+        loader = DataLoader(x, y, batch_size=4, shuffle=False, drop_last=True)
+        sizes = [len(yb) for _, yb in loader]
+        assert sizes == [4, 4]
+        assert len(loader) == 2
+
+    def test_len(self):
+        x, y = make_data(10)
+        assert len(DataLoader(x, y, batch_size=4)) == 3
+
+    def test_no_shuffle_preserves_order(self):
+        x, y = make_data(8)
+        loader = DataLoader(x, y, batch_size=3, shuffle=False)
+        first_x, first_y = next(iter(loader))
+        np.testing.assert_array_equal(first_y, [0, 1, 2])
+        np.testing.assert_array_equal(first_x, x[:3])
+
+    def test_shuffle_deterministic_per_seed(self):
+        x, y = make_data(20)
+        a = [yb.tolist() for _, yb in DataLoader(x, y, batch_size=5, seed=42)]
+        b = [yb.tolist() for _, yb in DataLoader(x, y, batch_size=5, seed=42)]
+        assert a == b
+
+    def test_epochs_reshuffle(self):
+        x, y = make_data(20)
+        loader = DataLoader(x, y, batch_size=20, seed=0)
+        first = next(iter(loader))[1].tolist()
+        second = next(iter(loader))[1].tolist()
+        assert first != second  # different epoch order, same coverage
+        assert sorted(first) == sorted(second)
+
+    def test_x_y_alignment_after_shuffle(self):
+        x, y = make_data(15)
+        for xb, yb in DataLoader(x, y, batch_size=4, seed=1):
+            np.testing.assert_array_equal(xb, x[yb])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 2)), np.zeros(4))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 2)), np.zeros(5), batch_size=0)

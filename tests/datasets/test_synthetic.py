@@ -1,0 +1,119 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticImageDataset,
+    smooth_prototypes,
+    synthetic_cifar10,
+    synthetic_imagenet10,
+    synthetic_mnist,
+)
+
+
+class TestPrototypes:
+    def test_shapes(self, rng):
+        protos = smooth_prototypes(10, (3, 16, 16), rng)
+        assert protos.shape == (10, 3, 16, 16)
+
+    def test_unit_rms(self, rng):
+        protos = smooth_prototypes(5, (1, 20, 20), rng)
+        rms = np.sqrt(np.mean(protos ** 2, axis=(1, 2, 3)))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-9)
+
+    def test_classes_differ(self, rng):
+        protos = smooth_prototypes(4, (1, 16, 16), rng)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(protos[i], protos[j])
+
+    def test_smoothness(self, rng):
+        """Blurred prototypes have less high-frequency energy than noise."""
+        protos = smooth_prototypes(1, (1, 32, 32), rng)[0, 0]
+        raw = rng.normal(size=(32, 32))
+        raw /= np.sqrt(np.mean(raw ** 2))
+        def hf_energy(img):
+            return float(np.mean(np.diff(img, axis=0) ** 2))
+        assert hf_energy(protos) < hf_energy(raw)
+
+
+class TestGeneration:
+    def test_determinism(self):
+        a = SyntheticImageDataset.generate("d", (1, 8, 8), train_size=20, test_size=10, seed=3)
+        b = SyntheticImageDataset.generate("d", (1, 8, 8), train_size=20, test_size=10, seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageDataset.generate("d", (1, 8, 8), train_size=20, test_size=10, seed=3)
+        b = SyntheticImageDataset.generate("d", (1, 8, 8), train_size=20, test_size=10, seed=4)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_shapes_and_labels(self):
+        ds = SyntheticImageDataset.generate(
+            "d", (3, 8, 8), num_classes=7, train_size=30, test_size=15, seed=0
+        )
+        assert ds.x_train.shape == (30, 3, 8, 8)
+        assert ds.y_train.shape == (30,)
+        assert ds.y_train.min() >= 0 and ds.y_train.max() < 7
+        assert ds.input_shape == (3, 8, 8)
+
+    def test_flat(self):
+        ds = SyntheticImageDataset.generate(
+            "d", (1, 8, 8), train_size=10, test_size=5, seed=0, flat=True
+        )
+        assert ds.x_train.shape == (10, 64)
+        assert ds.input_shape == (64,)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset.generate("d", (1, 8, 8), train_size=0, test_size=5)
+
+    def test_low_noise_linearly_separable(self):
+        """At low noise a nearest-prototype classifier is near-perfect, so the
+        datasets really are class-conditional."""
+        ds = SyntheticImageDataset.generate(
+            "d", (1, 12, 12), train_size=100, test_size=100, noise=0.2,
+            max_shift=0, seed=0,
+        )
+        protos = np.stack([
+            ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)
+        ])
+        flat_test = ds.x_test.reshape(len(ds.x_test), -1)
+        dists = ((flat_test[:, None, :] - protos.reshape(10, -1)[None]) ** 2).sum(-1)
+        acc = np.mean(dists.argmin(axis=1) == ds.y_test)
+        assert acc > 0.95
+
+    def test_high_noise_hard(self):
+        ds = SyntheticImageDataset.generate(
+            "d", (1, 12, 12), train_size=50, test_size=200, noise=50.0, seed=0
+        )
+        protos = np.stack([
+            ds.x_train[ds.y_train == c].mean(axis=0)
+            if np.any(ds.y_train == c) else np.zeros(ds.shape)
+            for c in range(10)
+        ])
+        flat_test = ds.x_test.reshape(len(ds.x_test), -1)
+        dists = ((flat_test[:, None, :] - protos.reshape(10, -1)[None]) ** 2).sum(-1)
+        acc = np.mean(dists.argmin(axis=1) == ds.y_test)
+        assert acc < 0.6
+
+
+class TestNamedDatasets:
+    def test_mnist_shape(self):
+        ds = synthetic_mnist(train_size=10, test_size=5)
+        assert ds.shape == (1, 28, 28)
+        assert ds.num_classes == 10
+
+    def test_mnist_flat(self):
+        ds = synthetic_mnist(train_size=10, test_size=5, flat=True)
+        assert ds.x_train.shape == (10, 784)
+
+    def test_cifar_shape(self):
+        ds = synthetic_cifar10(train_size=10, test_size=5)
+        assert ds.shape == (3, 32, 32)
+
+    def test_imagenet10_size_param(self):
+        ds = synthetic_imagenet10(train_size=10, test_size=5, size=48)
+        assert ds.shape == (3, 48, 48)

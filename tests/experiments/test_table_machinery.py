@@ -1,0 +1,67 @@
+"""Tests of the Table III/V machinery with training stubbed out.
+
+Patching ``train_baseline`` to return untrained models lets these tests
+exercise the full plan/simulate/aggregate path deterministically in seconds;
+the real training path is covered by the FAST-profile runner tests and the
+benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import table3, table5
+from repro.experiments.config import FAST
+from repro.models import build_table3_convnet
+
+
+@pytest.fixture
+def stub_training(monkeypatch):
+    def fake_train_baseline(network, profile, dataset=None, **kwargs):
+        assert network == "table3"
+        model = build_table3_convnet(seed=0, **kwargs)
+        return model, 0.5  # fixed fake accuracy
+
+    monkeypatch.setattr(table3, "train_baseline", fake_train_baseline)
+    monkeypatch.setattr(table5, "train_baseline", fake_train_baseline)
+    monkeypatch.setattr(table3, "dataset_for", lambda *a, **k: None)
+    monkeypatch.setattr(table5, "dataset_for", lambda *a, **k: None)
+
+
+class TestTable3Machinery:
+    def test_rows_and_ordering(self, stub_training):
+        rows = table3.run_table3(FAST)
+        assert [r.variant for r in rows] == ["parallel#1", "parallel#2", "parallel#3"]
+        p1, p2, p3 = rows
+        assert p1.speedup == 1.0
+        # Grouping must speed things up regardless of training.
+        assert p2.speedup > 1.5
+        assert p3.speedup > 1.5
+        assert p2.comm_energy_reduction > 0.3
+
+    def test_grouped_comm_speedup_exceeds_system_speedup(self, stub_training):
+        rows = table3.run_table3(FAST)
+        p2 = rows[1]
+        assert p2.comm_speedup >= p2.speedup
+
+    def test_render(self, stub_training):
+        text = table3.render_table3(table3.run_table3(FAST))
+        assert "parallel#2" in text and "paper" in text
+
+
+class TestTable5Machinery:
+    def test_speedup_grows_with_cores(self, stub_training):
+        rows = table5.run_table5(FAST, core_counts=(4, 16))
+        assert rows[0].cores == 4 and rows[1].cores == 16
+        assert rows[1].speedup > rows[0].speedup
+
+    def test_sublinear_scaling(self, stub_training):
+        rows = table5.run_table5(FAST, core_counts=(4, 32))
+        # 8x the cores never gives 8x the relative speedup (Fig. 8's shape).
+        assert rows[1].speedup / rows[0].speedup < 8
+
+    def test_paper_refs_attached(self, stub_training):
+        rows = table5.run_table5(FAST, core_counts=(16,))
+        assert rows[0].paper_speedup == 6.0
+
+    def test_render(self, stub_training):
+        text = table5.render_table5(table5.run_table5(FAST, core_counts=(4,)))
+        assert "cores" in text

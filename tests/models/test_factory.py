@@ -1,0 +1,76 @@
+"""Tests for the trainable model builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_caffenet_scaled,
+    build_convnet,
+    build_lenet,
+    build_mlp,
+    build_model,
+    build_table3_convnet,
+)
+
+
+class TestBuilders:
+    def test_mlp_forward(self, rng):
+        model = build_mlp()
+        out = model.forward(rng.normal(size=(4, 784)))
+        assert out.shape == (4, 10)
+
+    def test_mlp_paper_widths(self):
+        model = build_mlp()
+        assert model.get_parameter("ip1.weight").shape == (784, 512)
+        assert model.get_parameter("ip2.weight").shape == (512, 304)
+        assert model.get_parameter("ip3.weight").shape == (304, 10)
+
+    def test_lenet_forward(self, rng):
+        out = build_lenet().forward(rng.normal(size=(2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_convnet_forward(self, rng):
+        out = build_convnet().forward(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_caffenet_forward(self, rng):
+        model = build_caffenet_scaled()
+        out = model.forward(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_caffenet_has_five_convs_three_fcs(self):
+        model = build_caffenet_scaled()
+        from repro.models import NetworkSpec
+        spec = NetworkSpec.from_sequential(model)
+        kinds = [l.kind for l in spec.compute_layers()]
+        assert kinds == ["conv"] * 5 + ["dense"] * 3
+
+    def test_table3_groups_variants(self, rng):
+        for groups in (1, 4, 16):
+            model = build_table3_convnet(groups=groups)
+            out = model.forward(rng.normal(size=(1, 3, 32, 32)))
+            assert out.shape == (1, 10)
+
+    def test_table3_group_32_supported(self):
+        model = build_table3_convnet(groups=32)
+        assert model.layers[3].groups == 32
+
+    def test_table3_wide_is_wider(self):
+        base = build_table3_convnet(wide=False)
+        wide = build_table3_convnet(wide=True)
+        assert wide.num_parameters > base.num_parameters
+
+    def test_table3_bad_groups(self):
+        with pytest.raises(ValueError):
+            build_table3_convnet(groups=7)
+
+    def test_seed_reproducibility(self, rng):
+        a = build_lenet(seed=5)
+        b = build_lenet(seed=5)
+        x = rng.normal(size=(1, 1, 28, 28))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_build_model_registry(self):
+        assert build_model("mlp").name == "mlp"
+        with pytest.raises(ValueError):
+            build_model("transformer")

@@ -1,0 +1,110 @@
+"""Tests for architecture specs and the spec builder."""
+
+import numpy as np
+import pytest
+
+from repro.models import NetworkSpec, SpecBuilder, build_lenet, build_table3_convnet
+from repro.models.spec import LayerSpec
+
+
+class TestLayerSpec:
+    def conv(self, groups=1):
+        return LayerSpec(
+            name="c", kind="conv", in_shape=(16, 8, 8), out_shape=(32, 8, 8),
+            kernel=3, pad=1, groups=groups,
+        )
+
+    def test_conv_macs(self):
+        assert self.conv().macs == 32 * 64 * 16 * 9
+
+    def test_grouped_macs(self):
+        assert self.conv(groups=4).macs == 32 * 64 * 4 * 9
+
+    def test_conv_weight_count(self):
+        assert self.conv().weight_count == 32 * 16 * 9
+        assert self.conv(groups=2).weight_count == 32 * 8 * 9
+
+    def test_dense_macs(self):
+        d = LayerSpec(name="d", kind="dense", in_shape=(100,), out_shape=(10,))
+        assert d.macs == 1000
+        assert d.weight_count == 1000
+
+    def test_pool_has_no_macs(self):
+        p = LayerSpec(name="p", kind="pool", in_shape=(4, 8, 8), out_shape=(4, 4, 4))
+        assert p.macs == 0
+        assert not p.is_compute
+
+    def test_volumes(self):
+        c = self.conv()
+        assert c.input_volume == 16 * 64
+        assert c.output_volume == 32 * 64
+
+
+class TestSpecBuilder:
+    def test_chains_shapes(self):
+        spec = (
+            SpecBuilder("t", (3, 32, 32))
+            .conv("c1", 16, kernel=5, pad=2)
+            .pool("p1", 2, 2)
+            .dense("fc", 10)
+            .build()
+        )
+        assert spec.layer("c1").out_shape == (16, 32, 32)
+        assert spec.layer("p1").out_shape == (16, 16, 16)
+        # Dense auto-flattens.
+        assert spec.layer("fc").in_shape == (16 * 16 * 16,)
+
+    def test_validate_passes_on_built(self):
+        spec = SpecBuilder("t", (1, 8, 8)).conv("c", 2, kernel=3).build()
+        spec.validate()
+
+    def test_validate_catches_breaks(self):
+        spec = SpecBuilder("t", (1, 8, 8)).conv("c", 2, kernel=3).build()
+        bad = LayerSpec(name="x", kind="dense", in_shape=(99,), out_shape=(2,))
+        spec.layers.append(bad)
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_window_too_big(self):
+        with pytest.raises(ValueError):
+            SpecBuilder("t", (1, 4, 4)).conv("c", 2, kernel=7)
+
+    def test_compute_layers_filter(self):
+        spec = (
+            SpecBuilder("t", (1, 8, 8))
+            .conv("c", 2, kernel=3).act("r").pool("p", 2).dense("d", 4)
+            .build()
+        )
+        assert [l.name for l in spec.compute_layers()] == ["c", "d"]
+
+    def test_layer_lookup_missing(self):
+        spec = SpecBuilder("t", (1, 8, 8)).build()
+        with pytest.raises(KeyError):
+            spec.layer("nope")
+
+
+class TestFromSequential:
+    def test_lenet_roundtrip(self):
+        model = build_lenet()
+        spec = NetworkSpec.from_sequential(model)
+        spec.validate()
+        names = [l.name for l in spec.compute_layers()]
+        assert names == ["conv1", "conv2", "ip1", "ip2"]
+        assert spec.layer("conv1").kernel == 5
+
+    def test_macs_agree_with_model(self):
+        model = build_lenet()
+        spec = NetworkSpec.from_sequential(model)
+        assert spec.total_macs == model.total_macs()
+
+    def test_groups_carried_over(self):
+        model = build_table3_convnet(groups=4)
+        spec = NetworkSpec.from_sequential(model)
+        assert spec.layer("conv2").groups == 4
+        assert spec.layer("conv1").groups == 1
+
+    def test_flatten_and_pool_kinds(self):
+        spec = NetworkSpec.from_sequential(build_lenet())
+        kinds = {l.name: l.kind for l in spec.layers}
+        assert kinds["pool1"] == "pool"
+        assert kinds["flatten"] == "flatten"

@@ -1,0 +1,126 @@
+"""Tests of the full-scale network specs against published geometry."""
+
+import pytest
+
+from repro.models import (
+    alexnet_spec,
+    caffenet_spec,
+    convnet_spec,
+    get_spec,
+    lenet_spec,
+    mlp_spec,
+    table3_convnet_spec,
+    vgg19_spec,
+)
+
+
+class TestMLP:
+    def test_layer_sizes(self):
+        spec = mlp_spec()
+        assert [l.out_shape[0] for l in spec.compute_layers()] == [512, 304, 10]
+
+    def test_param_count(self):
+        # 784*512 + 512*304 + 304*10 weights
+        assert mlp_spec().total_weights == 784 * 512 + 512 * 304 + 304 * 10
+
+
+class TestLeNet:
+    def test_geometry(self):
+        spec = lenet_spec()
+        assert spec.layer("conv1").out_shape == (20, 24, 24)
+        assert spec.layer("pool2").out_shape == (50, 4, 4)
+        assert spec.layer("ip1").in_shape == (800,)
+
+    def test_macs_order_of_magnitude(self):
+        # Caffe LeNet is ~2.3 MMACs per inference.
+        assert 2e6 < lenet_spec().total_macs < 3e6
+
+
+class TestConvNet:
+    def test_cifar10_quick_geometry(self):
+        spec = convnet_spec()
+        assert spec.layer("conv1").out_shape == (32, 32, 32)
+        assert spec.layer("conv3").out_shape[0] == 64
+        assert spec.layer("ip2").out_shape == (10,)
+
+
+class TestAlexNet:
+    def test_published_mac_count(self):
+        # AlexNet with grouping is ~0.7 GMACs (1.4 GFLOPs).
+        macs = alexnet_spec().total_macs
+        assert 6e8 < macs < 9e8
+
+    def test_published_weight_count(self):
+        # ~61 M parameters.
+        weights = alexnet_spec().total_weights
+        assert 5.5e7 < weights < 6.5e7
+
+    def test_conv_geometry(self):
+        spec = alexnet_spec()
+        assert spec.layer("conv1").out_shape == (96, 55, 55)
+        assert spec.layer("pool2").out_shape == (256, 13, 13)
+        assert spec.layer("ip1").in_shape == (256 * 6 * 6,)
+
+    def test_grouping(self):
+        spec = alexnet_spec()
+        assert spec.layer("conv2").groups == 2
+        assert spec.layer("conv3").groups == 1
+        assert spec.layer("conv4").groups == 2
+
+    def test_dense_variant(self):
+        spec = alexnet_spec(groups=False)
+        assert all(l.groups == 1 for l in spec.compute_layers())
+        assert spec.total_macs > alexnet_spec().total_macs
+
+    def test_caffenet_is_grouped_alexnet(self):
+        a, c = alexnet_spec(), caffenet_spec()
+        assert c.name == "caffenet"
+        assert c.total_macs == a.total_macs
+
+
+class TestVGG19:
+    def test_published_counts(self):
+        spec = vgg19_spec()
+        # ~19.6 GMACs and ~144 M parameters.
+        assert 1.9e10 < spec.total_macs < 2.0e10
+        assert 1.40e8 < spec.total_weights < 1.46e8
+
+    def test_sixteen_conv_layers(self):
+        convs = [l for l in vgg19_spec().compute_layers() if l.kind == "conv"]
+        assert len(convs) == 16
+
+    def test_block_shapes(self):
+        spec = vgg19_spec()
+        assert spec.layer("conv1_1").out_shape == (64, 224, 224)
+        assert spec.layer("conv5_4").out_shape == (512, 14, 14)
+        assert spec.layer("ip1").in_shape == (512 * 7 * 7,)
+
+
+class TestTable3Spec:
+    def test_base_widths(self):
+        spec = table3_convnet_spec(wide=False)
+        widths = [l.out_shape[0] for l in spec.compute_layers() if l.kind == "conv"]
+        assert widths == [64, 128, 256]
+
+    def test_wide_widths(self):
+        spec = table3_convnet_spec(wide=True)
+        widths = [l.out_shape[0] for l in spec.compute_layers() if l.kind == "conv"]
+        assert widths == [64, 160, 320]
+
+    def test_grouping_applied(self):
+        spec = table3_convnet_spec(groups=16)
+        assert spec.layer("conv2").groups == 16
+        assert spec.layer("conv1").groups == 1
+
+    def test_indivisible_groups_rejected(self):
+        with pytest.raises(ValueError):
+            table3_convnet_spec(groups=7)
+
+
+class TestRegistry:
+    def test_get_spec(self):
+        assert get_spec("mlp").name == "mlp"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_spec("resnet")

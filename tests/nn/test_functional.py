@@ -1,0 +1,163 @@
+"""Tests for the numerical primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    pad_nchw,
+    relu,
+    sigmoid,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+
+    def test_stride(self):
+        assert conv_output_size(28, 2, 2, 0) == 14
+
+    def test_padding(self):
+        assert conv_output_size(32, 5, 1, 2) == 32
+
+    def test_caffe_pool_geometry(self):
+        # cifar10_quick pool: 3x3 stride 2 on 32 -> 15... Caffe uses ceil; we
+        # use floor, documented: 32 -> 15 here.
+        assert conv_output_size(32, 3, 2, 0) == 15
+
+    def test_window_too_large(self):
+        with pytest.raises(ValueError):
+            conv_output_size(4, 5, 1, 0)
+
+    def test_bad_kernel(self):
+        with pytest.raises(ValueError):
+            conv_output_size(8, 0, 1, 0)
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            conv_output_size(8, 3, 0, 0)
+
+    def test_negative_pad(self):
+        with pytest.raises(ValueError):
+            conv_output_size(8, 3, 1, -1)
+
+
+class TestIm2col:
+    def test_identity_kernel(self):
+        """1x1 kernel: columns are just the pixels."""
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float64).reshape(2, 3, 4, 4)
+        cols = im2col(x, 1, 1)
+        assert cols.shape == (2 * 16, 3)
+        # First row = channel values of pixel (0,0) of sample 0.
+        np.testing.assert_array_equal(cols[0], x[0, :, 0, 0])
+
+    def test_known_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, stride=2)
+        assert cols.shape == (4, 4)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_conv_equivalence(self, rng):
+        """im2col matmul equals direct convolution."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols = im2col(x, 3, 3, stride=1, pad=1)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, 6, 6, 4).transpose(0, 3, 1, 2)
+        # Direct convolution at one output position.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        manual = np.sum(xp[1, :, 2:5, 3:6] * w[2])
+        assert np.isclose(out[1, 2, 2, 3], manual)
+
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_col2im_is_adjoint(self, kernel, stride, pad):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjoint pair."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 2, 5, 5))
+        cols = im2col(x, kernel, kernel, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, kernel, kernel, stride, pad)
+        rhs = float(np.sum(x * back))
+        assert np.isclose(lhs, rhs)
+
+
+class TestPad:
+    def test_zero_pad_is_identity(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        assert pad_nchw(x, 0) is x
+
+    def test_pad_shape_and_values(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        p = pad_nchw(x, 2)
+        assert p.shape == (1, 2, 7, 7)
+        assert p[0, 0, 0, 0] == 0.0
+        np.testing.assert_array_equal(p[:, :, 2:5, 2:5], x)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        s = softmax(rng.normal(size=(5, 7)), axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_large_values_stable(self):
+        s = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.all(np.isfinite(s))
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)), atol=1e-12)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty(self):
+        assert one_hot(np.array([], dtype=int), 3).shape == (0, 3)
+
+
+class TestActivationFunctions:
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(size=100) * 10
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        np.testing.assert_allclose(sigmoid(-x), 1 - s, atol=1e-12)
+
+    def test_sigmoid_extreme_stable(self):
+        assert np.isfinite(sigmoid(np.array([-1000.0, 1000.0]))).all()

@@ -1,0 +1,86 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    constant,
+    get_initializer,
+    he_normal,
+    he_uniform,
+    normal,
+    uniform,
+    xavier_normal,
+    xavier_uniform,
+    zeros,
+)
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestBasicInitializers:
+    def test_zeros(self, gen):
+        np.testing.assert_array_equal(zeros((3, 4), gen), 0.0)
+
+    def test_constant(self, gen):
+        np.testing.assert_array_equal(constant(2.5)((2, 2), gen), 2.5)
+
+    def test_uniform_range(self, gen):
+        w = uniform(0.1)((1000,), gen)
+        assert np.all(np.abs(w) <= 0.1)
+
+    def test_normal_std(self, gen):
+        w = normal(0.2)((20000,), gen)
+        assert abs(w.std() - 0.2) < 0.01
+
+
+class TestVarianceScaling:
+    def test_he_normal_std(self, gen):
+        fan_in = 400
+        w = he_normal((fan_in, 200), gen)
+        assert abs(w.std() - np.sqrt(2.0 / fan_in)) < 0.005
+
+    def test_xavier_normal_std(self, gen):
+        w = xavier_normal((300, 100), gen)
+        assert abs(w.std() - np.sqrt(2.0 / 400)) < 0.01
+
+    def test_he_uniform_bound(self, gen):
+        fan_in = 100
+        w = he_uniform((fan_in, 50), gen)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / fan_in) + 1e-12)
+
+    def test_xavier_uniform_bound(self, gen):
+        w = xavier_uniform((100, 60), gen)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 160) + 1e-12)
+
+    def test_conv_fan_computation(self, gen):
+        """Conv fan-in = in_channels * receptive field."""
+        w = he_normal((8, 4, 3, 3), gen)  # fan_in = 4*9 = 36
+        assert abs(w.std() - np.sqrt(2.0 / 36)) < 0.02
+
+    def test_xavier_smaller_than_he(self, gen):
+        he = he_normal((200, 200), np.random.default_rng(1)).std()
+        xavier = xavier_normal((200, 200), np.random.default_rng(1)).std()
+        assert xavier < he
+
+
+class TestRegistry:
+    def test_lookup_by_name(self, gen):
+        init = get_initializer("he_normal")
+        assert init is he_normal
+
+    def test_callable_passthrough(self):
+        init = constant(1.0)
+        assert get_initializer(init) is init
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_initializer("glorot")
+
+    def test_deterministic_given_rng(self):
+        a = he_normal((5, 5), np.random.default_rng(42))
+        b = he_normal((5, 5), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

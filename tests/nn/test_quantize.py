@@ -1,0 +1,102 @@
+"""Tests for 16-bit fixed-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Dense,
+    FixedPointFormat,
+    Sequential,
+    dequantize,
+    quantize,
+    quantize_model,
+)
+
+
+class TestFixedPointFormat:
+    def test_defaults_match_table2(self):
+        fmt = FixedPointFormat()
+        assert fmt.total_bits == 16
+        assert fmt.bytes_per_value == 2
+
+    def test_scale(self):
+        assert FixedPointFormat(16, 8).scale == 1 / 256
+
+    def test_range(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.max_value == 127 / 16
+        assert fmt.min_value == -8.0
+
+    def test_for_range_covers(self):
+        fmt = FixedPointFormat.for_range(5.0)
+        assert fmt.max_value >= 5.0
+
+    def test_for_range_tiny(self):
+        fmt = FixedPointFormat.for_range(0.0)
+        assert fmt.frac_bits == fmt.total_bits - 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 16)
+
+
+class TestQuantize:
+    def test_roundtrip_on_grid(self):
+        fmt = FixedPointFormat(16, 8)
+        x = np.array([0.0, 1.0, -1.5, 0.25])
+        np.testing.assert_array_equal(dequantize(quantize(x, fmt), fmt), x)
+
+    def test_rounding(self):
+        fmt = FixedPointFormat(16, 1)  # grid of 0.5
+        out = dequantize(quantize(np.array([0.3, 0.74]), fmt), fmt)
+        np.testing.assert_array_equal(out, [0.5, 0.5])
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 0)
+        q = quantize(np.array([1000.0, -1000.0]), fmt)
+        np.testing.assert_array_equal(q, [127, -128])
+
+    @given(st.floats(-100, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_error_bounded_by_half_lsb(self, value):
+        fmt = FixedPointFormat.for_range(128.0)
+        approx = dequantize(quantize(np.array([value]), fmt), fmt)[0]
+        assert abs(approx - value) <= fmt.scale / 2 + 1e-12
+
+    def test_quantize_model_preserves_function_approximately(self, rng):
+        model = Sequential([Dense(6, 4, rng=rng)], input_shape=(6,))
+        x = rng.normal(size=(3, 6))
+        before = model.forward(x)
+        formats = quantize_model(model)
+        after = model.forward(x)
+        assert "dense.weight" in formats
+        np.testing.assert_allclose(before, after, atol=0.05)
+
+    def test_quantize_model_weights_on_grid(self, rng):
+        model = Sequential([Dense(6, 4, rng=rng)], input_shape=(6,))
+        formats = quantize_model(model)
+        for name, param in model.named_parameters():
+            fmt = formats[name]
+            grid = param.data / fmt.scale
+            np.testing.assert_allclose(grid, np.round(grid), atol=1e-9)
+
+
+class TestQuantizeIdempotence:
+    def test_double_quantization_is_identity(self, rng):
+        fmt = FixedPointFormat(16, 8)
+        x = rng.normal(size=200)
+        once = dequantize(quantize(x, fmt), fmt)
+        twice = dequantize(quantize(once, fmt), fmt)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_quantize_model_idempotent(self, rng):
+        model = Sequential([Dense(6, 4, rng=rng)], input_shape=(6,))
+        quantize_model(model, FixedPointFormat(16, 8))
+        state_once = model.state_dict()
+        quantize_model(model, FixedPointFormat(16, 8))
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, state_once[name])

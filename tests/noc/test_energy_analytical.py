@@ -1,0 +1,144 @@
+"""Tests for the energy model and analytical drain estimates."""
+
+import numpy as np
+import pytest
+
+from repro.noc import (
+    EnergyBreakdown,
+    Mesh2D,
+    NoCConfig,
+    NoCEnergyModel,
+    NoCSimulator,
+    estimate_drain_cycles,
+    link_loads,
+    neighbor_traffic,
+    uniform_random_traffic,
+)
+from repro.noc.network import EnergyEvents
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert e.total_j == 15.0
+
+    def test_add(self):
+        a = EnergyBreakdown(1, 1, 1, 1, 1)
+        b = EnergyBreakdown(2, 2, 2, 2, 2)
+        assert (a + b).total_j == 15.0
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_linear_in_events(self):
+        model = NoCEnergyModel()
+        events = EnergyEvents(
+            buffer_writes=10, buffer_reads=10, crossbar_traversals=10,
+            link_traversals=10, vc_allocations=2, sa_arbitrations=5,
+        )
+        double = EnergyEvents(
+            buffer_writes=20, buffer_reads=20, crossbar_traversals=20,
+            link_traversals=20, vc_allocations=4, sa_arbitrations=10,
+        )
+        assert np.isclose(
+            2 * model.dynamic_energy(events).total_j,
+            model.dynamic_energy(double).total_j,
+        )
+
+    def test_simulation_energy_includes_static(self):
+        mesh = Mesh2D(2, 2)
+        cfg = NoCConfig()
+        sim = NoCSimulator(mesh, cfg)
+        tm = neighbor_traffic(mesh, 128)
+        sim.inject(tm.to_packets(cfg))
+        stats = sim.run()
+        model = NoCEnergyModel()
+        with_static = model.simulation_energy(stats, 4)
+        assert with_static.static_j > 0
+        assert with_static.total_j > model.dynamic_energy(stats.energy).total_j
+
+    def test_analytical_link_energy_matches_sim(self):
+        """Link traversal counts are exact in both models."""
+        mesh = Mesh2D(4, 4)
+        cfg = NoCConfig()
+        tm = uniform_random_traffic(16, 100_000, seed=3)
+        sim = NoCSimulator(mesh, cfg)
+        sim.inject(tm.to_packets(cfg))
+        stats = sim.run()
+        model = NoCEnergyModel()
+        assert np.isclose(
+            model.dynamic_energy(stats.energy).link_j,
+            model.analytical_energy(tm, mesh, cfg).link_j,
+        )
+
+    def test_analytical_total_close_to_sim(self):
+        mesh = Mesh2D(4, 4)
+        cfg = NoCConfig()
+        tm = uniform_random_traffic(16, 100_000, seed=4)
+        sim = NoCSimulator(mesh, cfg)
+        sim.inject(tm.to_packets(cfg))
+        stats = sim.run()
+        model = NoCEnergyModel()
+        sim_dyn = model.dynamic_energy(stats.energy).total_j
+        ana = model.analytical_energy(tm, mesh, cfg).total_j
+        assert 0.7 < ana / sim_dyn < 1.3
+
+
+class TestLinkLoads:
+    def test_single_flow(self):
+        mesh = Mesh2D(4, 1)
+        cfg = NoCConfig()
+        m = np.zeros((4, 4), dtype=np.int64)
+        m[0, 3] = 64  # 2 flits
+        from repro.noc import TrafficMatrix
+
+        loads = link_loads(TrafficMatrix(m), mesh, cfg)
+        assert loads == {(0, 1): 2, (1, 2): 2, (2, 3): 2}
+
+    def test_loads_respect_xy(self):
+        mesh = Mesh2D(2, 2)
+        cfg = NoCConfig()
+        m = np.zeros((4, 4), dtype=np.int64)
+        m[0, 3] = 64
+        from repro.noc import TrafficMatrix
+
+        loads = link_loads(TrafficMatrix(m), mesh, cfg)
+        # XY: 0 -> 1 -> 3, never through 2.
+        assert (0, 1) in loads and (1, 3) in loads
+        assert (0, 2) not in loads
+
+
+class TestAnalyticalEstimate:
+    def test_components(self):
+        mesh = Mesh2D(4, 4)
+        cfg = NoCConfig()
+        tm = uniform_random_traffic(16, 100_000, seed=0)
+        est = estimate_drain_cycles(tm, mesh, cfg)
+        assert est.source_bound > 0
+        assert est.sink_bound > 0
+        assert est.link_bound > 0
+        assert est.head_latency > 0
+        assert est.cycles == max(
+            est.source_bound, est.sink_bound, est.link_bound
+        ) + est.head_latency
+
+    def test_empty_traffic(self):
+        mesh = Mesh2D(2, 2)
+        from repro.noc import TrafficMatrix
+
+        est = estimate_drain_cycles(TrafficMatrix(np.zeros((4, 4))), mesh)
+        assert est.cycles == 0
+
+    def test_scales_with_volume(self):
+        """The bandwidth-bound component scales ~linearly with volume."""
+        mesh = Mesh2D(4, 4)
+        small = estimate_drain_cycles(uniform_random_traffic(16, 50_000, seed=1), mesh)
+        big = estimate_drain_cycles(uniform_random_traffic(16, 500_000, seed=1), mesh)
+        small_drain = small.cycles - small.head_latency
+        big_drain = big.cycles - big.head_latency
+        # Head-flit overhead makes small messages relatively more expensive,
+        # so the ratio lands slightly below exactly 10.
+        assert 6 < big_drain / small_drain < 12
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_drain_cycles(uniform_random_traffic(4, 1000), Mesh2D(4, 4))

@@ -1,0 +1,116 @@
+"""Tests for packets, flits, and message segmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import Flit, NoCConfig, Packet, segment_message
+
+
+class TestNoCConfig:
+    def test_table2_defaults(self):
+        cfg = NoCConfig()
+        assert cfg.flit_bits == 512
+        assert cfg.max_packet_flits == 20
+        assert cfg.num_vcs == 3
+        assert cfg.physical_channels == 2
+        assert cfg.router_stages == 3
+
+    def test_derived(self):
+        cfg = NoCConfig()
+        assert cfg.flit_bytes == 64
+        assert cfg.payload_flits_per_packet == 19
+        assert cfg.packet_payload_bytes == 19 * 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoCConfig(flit_bits=0)
+        with pytest.raises(ValueError):
+            NoCConfig(flit_bits=100)  # not multiple of 8
+        with pytest.raises(ValueError):
+            NoCConfig(max_packet_flits=1)
+        with pytest.raises(ValueError):
+            NoCConfig(num_vcs=0)
+        with pytest.raises(ValueError):
+            NoCConfig(physical_channels=0)
+        with pytest.raises(ValueError):
+            NoCConfig(core_clock_divider=0)
+
+
+class TestPacket:
+    def test_requires_two_flits(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=1, num_flits=1)
+
+    def test_no_self_traffic(self):
+        with pytest.raises(ValueError):
+            Packet(src=2, dst=2, num_flits=3)
+
+    def test_latency_before_delivery(self):
+        p = Packet(src=0, dst=1, num_flits=2)
+        with pytest.raises(RuntimeError):
+            _ = p.latency
+
+    def test_unique_ids(self):
+        a = Packet(src=0, dst=1, num_flits=2)
+        b = Packet(src=0, dst=1, num_flits=2)
+        assert a.pid != b.pid
+
+
+class TestFlit:
+    def test_head_tail_flags(self):
+        p = Packet(src=0, dst=1, num_flits=3)
+        flits = [Flit(p, i) for i in range(3)]
+        assert flits[0].is_head and not flits[0].is_tail
+        assert not flits[1].is_head and not flits[1].is_tail
+        assert flits[2].is_tail and not flits[2].is_head
+
+    def test_single_payload_packet(self):
+        p = Packet(src=0, dst=1, num_flits=2)
+        tail = Flit(p, 1)
+        assert tail.is_tail and not tail.is_head
+
+
+class TestSegmentation:
+    def test_small_message_one_packet(self):
+        cfg = NoCConfig()
+        pkts = segment_message(0, 1, 64, cfg)
+        assert len(pkts) == 1
+        assert pkts[0].num_flits == 2  # head + one payload flit
+
+    def test_exact_payload(self):
+        cfg = NoCConfig()
+        pkts = segment_message(0, 1, cfg.packet_payload_bytes, cfg)
+        assert len(pkts) == 1
+        assert pkts[0].num_flits == cfg.max_packet_flits
+
+    def test_one_byte_over(self):
+        cfg = NoCConfig()
+        pkts = segment_message(0, 1, cfg.packet_payload_bytes + 1, cfg)
+        assert len(pkts) == 2
+        assert pkts[1].num_flits == 2
+
+    def test_zero_bytes(self):
+        assert segment_message(0, 1, 0, NoCConfig()) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            segment_message(0, 1, -1, NoCConfig())
+
+    @given(num_bytes=st.integers(1, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_payload_capacity_covers_message(self, num_bytes):
+        cfg = NoCConfig()
+        pkts = segment_message(0, 1, num_bytes, cfg)
+        payload_capacity = sum((p.num_flits - 1) * cfg.flit_bytes for p in pkts)
+        assert payload_capacity >= num_bytes
+        # No packet is gratuitously large: capacity overshoot < one flit per
+        # packet plus one flit.
+        assert payload_capacity - num_bytes < cfg.flit_bytes * (len(pkts) + 1)
+
+    @given(num_bytes=st.integers(1, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_packets_within_max_size(self, num_bytes):
+        cfg = NoCConfig()
+        for p in segment_message(0, 1, num_bytes, cfg):
+            assert 2 <= p.num_flits <= cfg.max_packet_flits

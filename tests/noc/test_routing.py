@@ -1,0 +1,68 @@
+"""Tests for dimension-ordered routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import Mesh2D, xy_route_path, xy_route_port
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+
+
+class TestRoutePort:
+    def test_arrived(self):
+        mesh = Mesh2D(4, 4)
+        assert xy_route_port(mesh, 5, 5) == LOCAL
+
+    def test_x_first(self):
+        mesh = Mesh2D(4, 4)
+        # From (0,0) to (2,2): go EAST first even though SOUTH also reduces.
+        assert xy_route_port(mesh, 0, 10) == EAST
+
+    def test_directions(self):
+        mesh = Mesh2D(4, 4)
+        assert xy_route_port(mesh, 5, 6) == EAST
+        assert xy_route_port(mesh, 5, 4) == WEST
+        assert xy_route_port(mesh, 5, 1) == NORTH
+        assert xy_route_port(mesh, 5, 9) == SOUTH
+
+
+class TestRoutePath:
+    def test_path_endpoints(self):
+        mesh = Mesh2D(4, 4)
+        path = xy_route_path(mesh, 0, 15)
+        assert path[0] == 0 and path[-1] == 15
+
+    def test_path_length_is_manhattan(self):
+        mesh = Mesh2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                path = xy_route_path(mesh, src, dst)
+                assert len(path) - 1 == mesh.hop_distance(src, dst)
+
+    def test_x_then_y_shape(self):
+        mesh = Mesh2D(4, 4)
+        path = xy_route_path(mesh, 0, 10)  # (0,0) -> (2,2)
+        coords = [mesh.coords(n) for n in path]
+        assert coords == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_self_path(self):
+        assert xy_route_path(Mesh2D(2, 2), 3, 3) == [3]
+
+    @given(
+        nodes=st.sampled_from([4, 8, 16, 32]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_consecutive_hops_adjacent(self, nodes, seed):
+        import numpy as np
+
+        mesh = Mesh2D.for_nodes(nodes)
+        rng = np.random.default_rng(seed)
+        src, dst = rng.integers(0, nodes, size=2)
+        path = xy_route_path(mesh, int(src), int(dst))
+        for a, b in zip(path, path[1:]):
+            assert mesh.hop_distance(a, b) == 1
+
+    def test_deterministic(self):
+        mesh = Mesh2D(4, 4)
+        assert xy_route_path(mesh, 3, 12) == xy_route_path(mesh, 3, 12)

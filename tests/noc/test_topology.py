@@ -1,0 +1,132 @@
+"""Tests for mesh topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import Mesh2D, mesh_dims
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+
+
+class TestMeshDims:
+    def test_square(self):
+        assert mesh_dims(16) == (4, 4)
+
+    def test_rectangles(self):
+        assert mesh_dims(8) == (4, 2)
+        assert mesh_dims(32) == (8, 4)
+
+    def test_prime(self):
+        assert mesh_dims(7) == (7, 1)
+
+    def test_one(self):
+        assert mesh_dims(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mesh_dims(0)
+
+
+class TestMesh2D:
+    def test_coords_row_major(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(5) == (1, 1)
+        assert mesh.coords(15) == (3, 3)
+
+    def test_node_at_inverse_of_coords(self):
+        mesh = Mesh2D(4, 2)
+        for node in range(8):
+            assert mesh.node_at(*mesh.coords(node)) == node
+
+    def test_node_at_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mesh2D(4, 2).node_at(4, 0)
+
+    def test_hop_distance_manhattan(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(0, 0) == 0
+        assert mesh.hop_distance(0, 3) == 3
+
+    def test_distance_matrix_symmetric(self):
+        d = Mesh2D(4, 4).distance_matrix()
+        np.testing.assert_array_equal(d, d.T)
+        assert np.all(np.diagonal(d) == 0)
+
+    def test_neighbors(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.neighbor(5, EAST) == 6
+        assert mesh.neighbor(5, WEST) == 4
+        assert mesh.neighbor(5, NORTH) == 1
+        assert mesh.neighbor(5, SOUTH) == 9
+
+    def test_edge_neighbors_none(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.neighbor(0, WEST) is None
+        assert mesh.neighbor(0, NORTH) is None
+        assert mesh.neighbor(15, EAST) is None
+        assert mesh.neighbor(15, SOUTH) is None
+
+    def test_local_port_has_no_neighbor(self):
+        with pytest.raises(ValueError):
+            Mesh2D(2, 2).neighbor(0, LOCAL)
+
+    def test_links_count(self):
+        # 2D mesh has 2*(w-1)*h + 2*w*(h-1) unidirectional links.
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.links()) == 2 * 3 * 4 + 2 * 4 * 3
+
+    def test_links_are_adjacent(self):
+        mesh = Mesh2D(3, 2)
+        for a, b in mesh.links():
+            assert mesh.hop_distance(a, b) == 1
+
+    def test_diameter(self):
+        assert Mesh2D(4, 4).diameter == 6
+        assert Mesh2D(8, 4).diameter == 10
+
+    def test_bisection_links(self):
+        assert Mesh2D(4, 4).bisection_links == 8
+        assert Mesh2D(8, 4).bisection_links == 8
+
+    def test_average_distance_known(self):
+        # 2x1 mesh: the two ordered pairs are 1 hop apart.
+        assert Mesh2D(2, 1).average_distance() == 1.0
+
+    def test_average_distance_single_node(self):
+        assert Mesh2D(1, 1).average_distance() == 0.0
+
+    def test_for_nodes(self):
+        mesh = Mesh2D.for_nodes(32)
+        assert (mesh.width, mesh.height) == (8, 4)
+
+    @given(nodes=st.sampled_from([2, 4, 6, 8, 9, 12, 16, 32]))
+    @settings(max_examples=10, deadline=None)
+    def test_triangle_inequality(self, nodes):
+        mesh = Mesh2D.for_nodes(nodes)
+        d = mesh.distance_matrix()
+        for a in range(nodes):
+            for b in range(nodes):
+                for c in range(nodes):
+                    assert d[a, c] <= d[a, b] + d[b, c]
+
+
+class TestPortWiring:
+    def test_opposite_map_is_involution(self):
+        from repro.noc.topology import OPPOSITE
+
+        for port, opp in OPPOSITE.items():
+            assert OPPOSITE[opp] == port
+
+    def test_neighbor_symmetry(self):
+        """If B is A's east neighbour, A is B's west neighbour."""
+        from repro.noc.topology import EAST, NORTH, OPPOSITE, SOUTH, WEST
+
+        mesh = Mesh2D(4, 3)
+        for node in range(mesh.num_nodes):
+            for port in (EAST, WEST, NORTH, SOUTH):
+                nb = mesh.neighbor(node, port)
+                if nb is not None:
+                    assert mesh.neighbor(nb, OPPOSITE[port]) == node

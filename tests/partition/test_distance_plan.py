@@ -1,0 +1,110 @@
+"""Tests for distance masks and plan containers."""
+
+import numpy as np
+import pytest
+
+from repro.models import mlp_spec
+from repro.noc import Mesh2D
+from repro.partition import (
+    build_traditional_plan,
+    distance_strength_mask,
+    hop_distance_matrix,
+    uniform_strength,
+)
+
+
+class TestHopDistanceMatrix:
+    def test_matches_mesh(self):
+        d = hop_distance_matrix(16)
+        mesh = Mesh2D.for_nodes(16)
+        np.testing.assert_array_equal(d, mesh.distance_matrix())
+
+    def test_fig6a_first_four_cores(self):
+        """Fig. 6(a): distances among the first row of the 4x4 mesh."""
+        d = hop_distance_matrix(16)
+        np.testing.assert_array_equal(
+            d[:4, :4],
+            [[0, 1, 2, 3], [1, 0, 1, 2], [2, 1, 0, 1], [3, 2, 1, 0]],
+        )
+
+
+class TestUniformStrength:
+    def test_shape_and_diagonal(self):
+        s = uniform_strength(8)
+        assert s.shape == (8, 8)
+        assert np.all(np.diagonal(s) == 0)
+        off = ~np.eye(8, dtype=bool)
+        assert np.all(s[off] == 1.0)
+
+
+class TestDistanceStrengthMask:
+    def test_diagonal_zero(self):
+        s = distance_strength_mask(16)
+        assert np.all(np.diagonal(s) == 0)
+
+    def test_monotone_in_distance(self):
+        s = distance_strength_mask(16, normalize_mean=False)
+        d = hop_distance_matrix(16)
+        # Strictly increasing with distance for any fixed source.
+        for i in range(16):
+            order = np.argsort(d[i])
+            sorted_strengths = s[i][order]
+            assert np.all(np.diff(sorted_strengths) >= -1e-12)
+
+    def test_mean_normalized(self):
+        s = distance_strength_mask(16)
+        off = ~np.eye(16, dtype=bool)
+        assert np.isclose(s[off].mean(), 1.0)
+
+    def test_exponent_sharpens(self):
+        """Higher exponent concentrates strength on far pairs."""
+        lin = distance_strength_mask(16, exponent=1.0)
+        sharp = distance_strength_mask(16, exponent=4.0)
+        d = hop_distance_matrix(16)
+        far = d == d.max()
+        near = d == 1
+        assert sharp[far].mean() > lin[far].mean()
+        assert sharp[near].mean() < lin[near].mean()
+
+    def test_unnormalized_max_is_one(self):
+        s = distance_strength_mask(16, normalize_mean=False)
+        assert np.isclose(s.max(), 1.0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            distance_strength_mask(16, exponent=0)
+
+    def test_single_core(self):
+        assert distance_strength_mask(1).shape == (1, 1)
+
+
+class TestModelParallelPlan:
+    def test_totals(self):
+        plan = build_traditional_plan(mlp_spec(), 16)
+        assert plan.total_traffic_bytes == sum(
+            lp.traffic.total_bytes for lp in plan.layers
+        )
+        assert plan.total_macs == sum(lp.total_macs for lp in plan.layers)
+
+    def test_max_core_macs_at_most_total(self):
+        plan = build_traditional_plan(mlp_spec(), 16)
+        for lp in plan.layers:
+            assert lp.max_core_macs * 16 >= lp.total_macs
+            assert lp.max_core_macs <= lp.total_macs
+
+    def test_traffic_rate_zero_baseline(self):
+        plan = build_traditional_plan(mlp_spec(), 16)
+        zero = build_traditional_plan(mlp_spec(), 16)
+        for lp in zero.layers:
+            lp.traffic.bytes_matrix[...] = 0
+        assert zero.traffic_rate_vs(plan) == 0.0
+        assert np.isinf(plan.traffic_rate_vs(zero))
+
+    def test_core_count_mismatch_rejected(self):
+        from repro.partition import LayerPlan, ModelParallelPlan
+
+        plan16 = build_traditional_plan(mlp_spec(), 16)
+        with pytest.raises(ValueError):
+            ModelParallelPlan(
+                name="x", scheme="traditional", num_cores=4, layers=plan16.layers
+            )

@@ -1,0 +1,141 @@
+"""Tests for producer layouts and need-table traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.models.spec import LayerSpec
+from repro.partition.layout import (
+    ProducerLayout,
+    default_out_bounds,
+    producer_layout_for,
+    traffic_from_needs,
+)
+
+
+def conv(name, in_c, out_c, hw_in=8, hw_out=8, groups=1):
+    return LayerSpec(
+        name=name, kind="conv", in_shape=(in_c, hw_in, hw_in),
+        out_shape=(out_c, hw_out, hw_out), kernel=3, pad=1, groups=groups,
+    )
+
+
+def dense(name, in_f, out_f):
+    return LayerSpec(name=name, kind="dense", in_shape=(in_f,), out_shape=(out_f,))
+
+
+class TestProducerLayout:
+    def test_first_layer_none(self):
+        assert producer_layout_for(conv("c1", 3, 16), None, None, 4) is None
+
+    def test_conv_to_conv(self):
+        prev = conv("c1", 3, 16)
+        bounds = [(0, 4), (4, 8), (8, 12), (12, 16)]
+        layout = producer_layout_for(conv("c2", 16, 32), prev, bounds, 4)
+        assert layout.bounds == tuple(bounds)
+        assert layout.values_per_index == 64  # 8x8 feature maps
+
+    def test_conv_to_dense_scales_to_features(self):
+        prev = conv("c1", 3, 16, hw_out=4)
+        bounds = [(0, 4), (4, 8), (8, 12), (12, 16)]
+        layer = dense("fc", 16 * 4 * 4, 10)
+        layout = producer_layout_for(layer, prev, bounds, 4)
+        assert layout.values_per_index == 1
+        assert layout.bounds[0] == (0, 64)
+        assert layout.bounds[3] == (192, 256)
+
+    def test_dense_to_dense(self):
+        prev = dense("fc1", 100, 64)
+        bounds = [(0, 32), (32, 64)]
+        layout = producer_layout_for(dense("fc2", 64, 10), prev, bounds, 2)
+        assert layout.bounds == ((0, 32), (32, 64))
+
+    def test_channel_mismatch_rejected(self):
+        prev = conv("c1", 3, 16)
+        with pytest.raises(ValueError):
+            producer_layout_for(conv("c2", 99, 32), prev, [(0, 16)], 1)
+
+    def test_feature_indivisible_rejected(self):
+        prev = conv("c1", 3, 10, hw_out=3)
+        with pytest.raises(ValueError):
+            producer_layout_for(dense("fc", 91, 10), prev, [(0, 10)], 1)
+
+    def test_owner_of(self):
+        layout = ProducerLayout(((0, 4), (4, 8)), values_per_index=1)
+        assert layout.owner_of(0) == 0
+        assert layout.owner_of(7) == 1
+        with pytest.raises(IndexError):
+            layout.owner_of(8)
+
+
+class TestTrafficFromNeeds:
+    def test_all_needs_is_full_broadcast(self):
+        layout = ProducerLayout(((0, 2), (2, 4)), values_per_index=16)
+        needs = np.ones((4, 2), dtype=bool)
+        tm = traffic_from_needs(layout, needs, bytes_per_value=2, label="t")
+        # Core 0 sends its 2 channels (16 values each, 2B) to core 1.
+        assert tm.bytes_matrix[0, 1] == 2 * 16 * 2
+        assert tm.bytes_matrix[1, 0] == 2 * 16 * 2
+        assert tm.bytes_matrix[0, 0] == 0
+
+    def test_partial_needs(self):
+        layout = ProducerLayout(((0, 2), (2, 4)), values_per_index=1)
+        needs = np.zeros((4, 2), dtype=bool)
+        needs[0, 1] = True  # core 1 needs channel 0 (owned by core 0)
+        tm = traffic_from_needs(layout, needs, bytes_per_value=2, label="t")
+        assert tm.bytes_matrix[0, 1] == 2
+        assert tm.total_bytes == 2
+
+    def test_own_channels_never_counted(self):
+        layout = ProducerLayout(((0, 2), (2, 4)), values_per_index=1)
+        needs = np.zeros((4, 2), dtype=bool)
+        needs[0, 0] = True  # core 0 needs its own channel
+        tm = traffic_from_needs(layout, needs, bytes_per_value=2, label="t")
+        assert tm.total_bytes == 0
+
+    def test_none_layout_zero_traffic(self):
+        tm = traffic_from_needs(None, np.ones((8, 4), dtype=bool), 2, "t")
+        assert tm.total_bytes == 0
+        assert tm.num_nodes == 4
+
+    def test_consumer_count_mismatch(self):
+        layout = ProducerLayout(((0, 2), (2, 4)), values_per_index=1)
+        with pytest.raises(ValueError):
+            traffic_from_needs(layout, np.ones((4, 3), dtype=bool), 2, "t")
+
+
+class TestDefaultOutBounds:
+    def test_ungrouped_even(self):
+        layer = conv("c", 16, 32)
+        assert default_out_bounds(layer, 4) == [(0, 8), (8, 16), (16, 24), (24, 32)]
+
+    def test_grouped_aligned(self):
+        layer = conv("c", 16, 32, groups=4)
+        bounds = default_out_bounds(layer, 4)
+        assert bounds == [(0, 8), (8, 16), (16, 24), (24, 32)]
+
+    def test_groups_less_than_cores(self):
+        layer = conv("c", 16, 32, groups=2)
+        bounds = default_out_bounds(layer, 4)
+        # Group 0 = channels 0..16 on cores 0-1; group 1 on cores 2-3.
+        assert bounds == [(0, 8), (8, 16), (16, 24), (24, 32)]
+
+    def test_groups_more_than_cores(self):
+        layer = conv("c", 16, 32, groups=8)
+        bounds = default_out_bounds(layer, 4)
+        assert bounds == [(0, 8), (8, 16), (16, 24), (24, 32)]
+
+    def test_uneven_group_split_never_straddles(self):
+        # 6 channels per group, 2 cores per group: slices of 3.
+        layer = conv("c", 12, 12, groups=2)
+        bounds = default_out_bounds(layer, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_incompatible_groups_cores(self):
+        layer = conv("c", 12, 12, groups=3)
+        with pytest.raises(ValueError):
+            default_out_bounds(layer, 4)
+
+    def test_indivisible_channels(self):
+        layer = conv("c", 16, 30, groups=4)
+        with pytest.raises(ValueError):
+            default_out_bounds(layer, 4)

@@ -1,0 +1,131 @@
+"""Tests for the inter-layer pipeline comparison scheme."""
+
+import pytest
+
+from repro.accel import ChipConfig
+from repro.models import get_spec, lenet_spec, vgg19_spec
+from repro.models.spec import LayerSpec
+from repro.noc import Mesh2D, NoCConfig
+from repro.partition import (
+    balanced_stage_split,
+    build_pipeline_plan,
+    build_traditional_plan,
+)
+from repro.sim import InferenceSimulator, SimConfig
+
+
+def fake_layers(macs_list):
+    layers = []
+    for i, m in enumerate(macs_list):
+        # Dense layer with in=m, out=1 -> macs == m.
+        layers.append(
+            LayerSpec(name=f"l{i}", kind="dense", in_shape=(m,), out_shape=(1,))
+        )
+    return layers
+
+
+class TestBalancedStageSplit:
+    def test_fewer_layers_than_stages(self):
+        split = balanced_stage_split(fake_layers([10, 20, 30]), 8)
+        sizes = [len(s) for s in split]
+        assert sizes[:3] == [1, 1, 1]
+        assert sum(sizes) == 3
+
+    def test_more_layers_than_stages(self):
+        split = balanced_stage_split(fake_layers([10] * 10), 3)
+        assert all(split)  # every stage non-empty
+        assert sum(len(s) for s in split) == 10
+
+    def test_contiguity_preserved(self):
+        layers = fake_layers([5, 10, 15, 20, 25])
+        split = balanced_stage_split(layers, 2)
+        flattened = [l for stage in split for l in stage]
+        assert flattened == layers
+
+    def test_balances_macs(self):
+        """A heavy layer gets its own stage instead of dragging neighbours."""
+        split = balanced_stage_split(fake_layers([100, 100, 1000, 100, 100]), 3)
+        macs = [sum(l.macs for l in s) for s in split if s]
+        assert max(macs) == 1000  # the heavy layer is alone at the max
+
+    def test_empty_input(self):
+        assert balanced_stage_split([], 4) == [[], [], [], []]
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            balanced_stage_split(fake_layers([1]), 0)
+
+
+class TestPipelinePlan:
+    def test_lenet_stage_assignment(self):
+        plan = build_pipeline_plan(lenet_spec(), 16)
+        assert plan.occupied_stages == 4  # 4 compute layers
+        assert len(plan.stages) == 16
+
+    def test_vgg19_fills_all_stages(self):
+        plan = build_pipeline_plan(vgg19_spec(), 16)
+        assert plan.occupied_stages == 16
+
+    def test_adjacent_stage_cores_adjacent(self):
+        plan = build_pipeline_plan(vgg19_spec(), 16)
+        mesh = Mesh2D.for_nodes(16)
+        for a, b in zip(plan.stages, plan.stages[1:]):
+            assert mesh.hop_distance(a.core, b.core) == 1
+
+    def test_imbalance_above_one_for_real_nets(self):
+        """The paper's §II.B claim: heterogeneous layers don't balance."""
+        chip = ChipConfig.table2(16)
+        plan = build_pipeline_plan(get_spec("alexnet"), 16)
+        assert plan.imbalance(chip.core_model()) > 1.5
+
+    def test_single_pass_worse_than_intra_layer(self):
+        """Pipelining cannot beat intra-layer partitioning on single-pass
+        latency: stages run serially on one core each."""
+        chip = ChipConfig.table2(16)
+        for network in ("lenet", "alexnet"):
+            spec = get_spec(network)
+            pipeline = build_pipeline_plan(spec, 16)
+            lat_pipe = pipeline.single_pass_latency(
+                chip.core_model(), chip.mesh, chip.noc
+            )
+            result = InferenceSimulator(
+                chip, SimConfig(include_input_load=False)
+            ).simulate(build_traditional_plan(spec, 16))
+            assert lat_pipe > result.total_cycles
+
+    def test_steady_interval_at_most_latency(self):
+        chip = ChipConfig.table2(16)
+        plan = build_pipeline_plan(get_spec("convnet"), 16)
+        interval = plan.steady_state_interval(chip.core_model(), chip.mesh, chip.noc)
+        latency = plan.single_pass_latency(chip.core_model(), chip.mesh, chip.noc)
+        assert interval <= latency
+
+    def test_transfer_cycles_zero_bytes(self):
+        assert (
+            build_pipeline_plan(lenet_spec(), 4).transfer_cycles(0, 1, NoCConfig())
+            == 0
+        )
+
+    def test_transfer_cycles_scale_with_bytes(self):
+        cfg = NoCConfig()
+        plan = build_pipeline_plan(lenet_spec(), 4)
+        small = plan.transfer_cycles(1_000, 1, cfg)
+        large = plan.transfer_cycles(100_000, 1, cfg)
+        assert large > 10 * small
+
+
+class TestSnakePlacement:
+    def test_snake_covers_all_nodes(self):
+        from repro.models import vgg19_spec
+
+        for cores in (8, 16, 32):
+            plan = build_pipeline_plan(vgg19_spec(), cores)
+            assert sorted(s.core for s in plan.stages) == list(range(cores))
+
+    def test_rectangular_mesh_adjacency(self):
+        from repro.models import vgg19_spec
+
+        plan = build_pipeline_plan(vgg19_spec(), 8)  # 4x2 mesh
+        mesh = Mesh2D.for_nodes(8)
+        for a, b in zip(plan.stages, plan.stages[1:]):
+            assert mesh.hop_distance(a.core, b.core) == 1

@@ -1,0 +1,62 @@
+"""Property-based invariants of partition plans over random architectures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.spec import SpecBuilder
+from repro.partition import build_traditional_plan
+
+
+@st.composite
+def random_spec(draw):
+    """A random small conv/dense network with chainable geometry."""
+    channels = draw(st.sampled_from([4, 8, 16]))
+    convs = draw(st.integers(1, 3))
+    b = SpecBuilder("rand", (3, 16, 16))
+    for i in range(convs):
+        out = draw(st.sampled_from([8, 16, 32]))
+        b.conv(f"conv{i}", out, kernel=3, pad=1)
+    b.dense("fc1", draw(st.sampled_from([16, 32, 64])))
+    b.dense("fc2", 10)
+    return b.build()
+
+
+class TestPlanInvariants:
+    @given(spec=random_spec(), cores=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=25, deadline=None)
+    def test_macs_conserved(self, spec, cores):
+        """Splitting never changes the total work for ungrouped layers."""
+        plan = build_traditional_plan(spec, cores)
+        for lp in plan.layers:
+            assert lp.total_macs == lp.layer.macs
+
+    @given(spec=random_spec(), cores=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=25, deadline=None)
+    def test_output_channels_partitioned(self, spec, cores):
+        plan = build_traditional_plan(spec, cores)
+        for lp in plan.layers:
+            covered = sum(b - a for a, b in lp.out_bounds)
+            assert covered == lp.layer.out_channels
+
+    @given(spec=random_spec(), cores=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_traffic_bounded_by_full_broadcast(self, spec, cores):
+        """No layer moves more than input volume x (P-1) x 2 bytes."""
+        plan = build_traditional_plan(spec, cores)
+        for lp in plan.layers:
+            upper = lp.layer.input_volume * (cores - 1) * 2
+            assert lp.traffic.total_bytes <= upper
+
+    @given(spec=random_spec())
+    @settings(max_examples=15, deadline=None)
+    def test_single_core_no_traffic(self, spec):
+        plan = build_traditional_plan(spec, 1)
+        assert plan.total_traffic_bytes == 0
+
+    @given(spec=random_spec(), cores=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_traffic_diagonal_zero(self, spec, cores):
+        plan = build_traditional_plan(spec, cores)
+        for lp in plan.layers:
+            assert np.all(np.diagonal(lp.traffic.bytes_matrix) == 0)

@@ -1,0 +1,91 @@
+"""Tests for structure-level parallelization."""
+
+import pytest
+
+from repro.models import convnet_spec, table3_convnet_spec
+from repro.partition import build_structure_plan, build_traditional_plan, with_groups
+
+
+class TestWithGroups:
+    def test_sets_groups(self):
+        spec = with_groups(convnet_spec(), {"conv2": 16, "conv3": 16})
+        assert spec.layer("conv2").groups == 16
+        assert spec.layer("conv3").groups == 16
+        assert spec.layer("conv1").groups == 1
+
+    def test_name_records_transformation(self):
+        spec = with_groups(convnet_spec(), {"conv2": 4})
+        assert "conv2:4" in spec.name
+
+    def test_original_untouched(self):
+        base = convnet_spec()
+        with_groups(base, {"conv2": 4})
+        assert base.layer("conv2").groups == 1
+
+    def test_validates_chaining(self):
+        spec = with_groups(convnet_spec(), {"conv2": 8})
+        spec.validate()
+
+    def test_unknown_layer(self):
+        with pytest.raises(ValueError):
+            with_groups(convnet_spec(), {"conv9": 4})
+
+    def test_non_conv_rejected(self):
+        with pytest.raises(ValueError):
+            with_groups(convnet_spec(), {"ip1": 4})
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            with_groups(convnet_spec(), {"conv2": 7})
+
+    def test_macs_reduced(self):
+        base = convnet_spec()
+        grouped = with_groups(base, {"conv2": 16, "conv3": 16})
+        assert grouped.total_macs < base.total_macs
+
+
+class TestBuildStructurePlan:
+    def test_grouped_layers_have_zero_traffic(self):
+        plan = build_structure_plan(
+            convnet_spec(), 16, group_map={"conv2": 16, "conv3": 16}
+        )
+        traffic = plan.traffic_by_layer()
+        assert traffic["conv2"] == 0
+        assert traffic["conv3"] == 0
+        # Un-grouped dense layers still synchronize.
+        assert traffic["ip1"] > 0
+
+    def test_scheme_label(self):
+        plan = build_structure_plan(convnet_spec(), 16, group_map={"conv2": 16})
+        assert plan.scheme == "structure"
+
+    def test_pregrouped_spec(self):
+        plan = build_structure_plan(table3_convnet_spec(groups=16), 16)
+        assert plan.traffic_by_layer()["conv2"] == 0
+
+    def test_partial_grouping_partial_traffic(self):
+        """groups=4 on 16 cores: traffic stays within 4-core clusters."""
+        full = build_traditional_plan(convnet_spec(), 16)
+        partial = build_structure_plan(convnet_spec(), 16, group_map={"conv2": 4})
+        f = full.traffic_by_layer()["conv2"]
+        p = partial.traffic_by_layer()["conv2"]
+        # Each map goes to 3 cluster peers instead of 15 cores.
+        assert p == pytest.approx(f * 3 / 15)
+
+    def test_cluster_locality(self):
+        """Partially grouped traffic never crosses cluster boundaries."""
+        plan = build_structure_plan(convnet_spec(), 16, group_map={"conv2": 4})
+        conv2 = next(lp for lp in plan.layers if lp.layer.name == "conv2")
+        m = conv2.traffic.bytes_matrix
+        for src in range(16):
+            for dst in range(16):
+                if m[src, dst]:
+                    assert src // 4 == dst // 4
+
+    def test_speedup_monotone_in_groups(self):
+        """More groups -> fewer MACs on the grouped layers."""
+        macs = [
+            build_structure_plan(convnet_spec(), 16, group_map={"conv2": g}).total_macs
+            for g in (1, 2, 4, 8, 16)
+        ]
+        assert macs == sorted(macs, reverse=True)

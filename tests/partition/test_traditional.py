@@ -1,0 +1,140 @@
+"""Tests for the traditional (baseline) parallelization scheme."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_spec, lenet_spec, mlp_spec, table3_convnet_spec
+from repro.partition import build_traditional_plan
+from repro.partition.traditional import grouped_needs, grouped_workloads
+from repro.models.spec import LayerSpec
+
+
+class TestTrafficHandComputed:
+    def test_mlp_ip2_traffic(self):
+        """ip2's sync moves ip1's 512 outputs: each core sends its 32 values
+        to the 15 other cores at 2 B/value."""
+        plan = build_traditional_plan(mlp_spec(), 16)
+        ip2 = next(lp for lp in plan.layers if lp.layer.name == "ip2")
+        assert ip2.traffic.total_bytes == 512 * 2 * 15
+        # Per-pair volume: 32 values * 2 B.
+        off = ~np.eye(16, dtype=bool)
+        assert np.all(ip2.traffic.bytes_matrix[off] == 64)
+
+    def test_first_layer_no_traffic(self):
+        plan = build_traditional_plan(mlp_spec(), 16)
+        assert plan.layers[0].traffic.total_bytes == 0
+
+    def test_lenet_conv2_traffic(self):
+        """conv2 consumes pool1's 20 maps of 12x12: total bytes =
+        20*144*2*(P-1)."""
+        plan = build_traditional_plan(lenet_spec(), 16)
+        conv2 = next(lp for lp in plan.layers if lp.layer.name == "conv2")
+        assert conv2.traffic.total_bytes == 20 * 144 * 2 * 15
+
+    def test_traffic_scales_with_core_count(self):
+        """ip2's broadcast scales with (P-1); ip3 (10 outputs) saturates when
+        cores outnumber outputs, because output-less cores consume nothing."""
+        t4 = build_traditional_plan(mlp_spec(), 4).traffic_by_layer()
+        t16 = build_traditional_plan(mlp_spec(), 16).traffic_by_layer()
+        assert t16["ip2"] == 5 * t4["ip2"]  # 15/3 = 5x
+        # ip3: 10 consumers each receive (304 - own) values at 2 B.
+        assert t16["ip3"] == 10 * (304 - 19) * 2
+        assert t4["ip3"] == 4 * (304 - 76) * 2
+
+    def test_alexnet_grouping_halves_conv_traffic(self):
+        grouped = build_traditional_plan(get_spec("alexnet"), 16)
+        from repro.models import alexnet_spec
+
+        dense = build_traditional_plan(alexnet_spec(groups=False), 16)
+        g2 = next(lp for lp in grouped.layers if lp.layer.name == "conv2")
+        d2 = next(lp for lp in dense.layers if lp.layer.name == "conv2")
+        # groups=2 on 16 cores: each map goes to 7 peers instead of 15.
+        assert g2.traffic.total_bytes == pytest.approx(
+            d2.traffic.total_bytes * 7 / 15
+        )
+
+
+class TestWorkloads:
+    def test_even_macs_partition(self):
+        plan = build_traditional_plan(mlp_spec(), 16)
+        for lp in plan.layers:
+            total = sum(w.macs for w in lp.workloads())
+            assert total == lp.layer.macs
+
+    def test_full_input_consumed_ungrouped(self):
+        plan = build_traditional_plan(mlp_spec(), 16)
+        ip1 = plan.layers[0]
+        assert all(w.in_channels_used == 784 for w in ip1.workloads())
+
+    def test_grouped_input_reduced(self):
+        spec = table3_convnet_spec(groups=16)
+        plan = build_traditional_plan(spec, 16)
+        conv2 = next(lp for lp in plan.layers if lp.layer.name == "conv2")
+        assert all(w.in_channels_used == 64 // 16 for w in conv2.workloads())
+
+    def test_grouped_layer_zero_traffic_when_groups_equal_cores(self):
+        spec = table3_convnet_spec(groups=16)
+        plan = build_traditional_plan(spec, 16)
+        conv2 = next(lp for lp in plan.layers if lp.layer.name == "conv2")
+        conv3 = next(lp for lp in plan.layers if lp.layer.name == "conv3")
+        assert conv2.traffic.total_bytes == 0
+        assert conv3.traffic.total_bytes == 0
+
+    def test_grouped_total_macs_reduced(self):
+        base = build_traditional_plan(table3_convnet_spec(groups=1), 16)
+        grouped = build_traditional_plan(table3_convnet_spec(groups=16), 16)
+        assert grouped.total_macs < base.total_macs
+
+    def test_groups_exceeding_cores_repeats(self):
+        spec = table3_convnet_spec(groups=16)
+        plan = build_traditional_plan(spec, 4)
+        conv2 = next(lp for lp in plan.layers if lp.layer.name == "conv2")
+        for w in conv2.workloads():
+            assert w.repeats == 4  # 16 groups / 4 cores
+        # Still zero traffic: whole groups stay on one core.
+        assert conv2.traffic.total_bytes == 0
+
+
+class TestGroupedNeeds:
+    def layer(self, groups):
+        return LayerSpec(
+            name="c", kind="conv", in_shape=(8, 4, 4), out_shape=(8, 4, 4),
+            kernel=3, groups=groups,
+        )
+
+    def test_ungrouped_all_true(self):
+        needs = grouped_needs(self.layer(1), [(0, 4), (4, 8)])
+        assert needs.all()
+
+    def test_two_groups_block_diagonal(self):
+        needs = grouped_needs(self.layer(2), [(0, 4), (4, 8)])
+        assert needs[:4, 0].all() and not needs[4:, 0].any()
+        assert needs[4:, 1].all() and not needs[:4, 1].any()
+
+    def test_empty_slice_needs_nothing(self):
+        needs = grouped_needs(self.layer(1), [(0, 8), (8, 8)])
+        assert not needs[:, 1].any()
+
+    def test_whole_group_multiples_allowed(self):
+        # Slices of 6 = 3 whole groups (group size 2): legal, repeats=3.
+        works = grouped_workloads(self.layer(4), [(0, 6), (6, 8)])
+        assert works[0].repeats == 3 and works[0].out_channels == 2
+
+    def test_straddling_slice_rejected_in_workloads(self):
+        # A 3-channel slice of 2-channel groups straddles a boundary.
+        with pytest.raises(ValueError):
+            grouped_workloads(self.layer(4), [(0, 3), (3, 8)])
+
+
+class TestPlanStructure:
+    def test_layer_count(self):
+        plan = build_traditional_plan(lenet_spec(), 16)
+        assert [lp.layer.name for lp in plan.layers] == ["conv1", "conv2", "ip1", "ip2"]
+
+    def test_scheme_label(self):
+        assert build_traditional_plan(mlp_spec(), 4).scheme == "traditional"
+
+    def test_traffic_by_layer(self):
+        plan = build_traditional_plan(mlp_spec(), 4)
+        t = plan.traffic_by_layer()
+        assert t["ip1"] == 0 and t["ip2"] > 0

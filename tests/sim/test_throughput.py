@@ -1,0 +1,64 @@
+"""Tests for the latency-vs-throughput deployment comparison."""
+
+import pytest
+
+from repro.accel import ChipConfig
+from repro.models import get_spec, lenet_spec
+from repro.sim import compare_deployments, single_core_latency
+from repro.sim.engine import SimConfig
+
+
+class TestSingleCoreLatency:
+    def test_positive_and_scales_with_network(self):
+        chip = ChipConfig.table2(16)
+        lenet = single_core_latency(lenet_spec(), chip)
+        alexnet = single_core_latency(get_spec("alexnet"), chip)
+        assert 0 < lenet < alexnet
+
+    def test_respects_grouping(self):
+        """Grouped AlexNet does fewer MACs than its dense variant."""
+        from repro.models import alexnet_spec
+
+        chip = ChipConfig.table2(16)
+        grouped = single_core_latency(alexnet_spec(groups=True), chip)
+        dense = single_core_latency(alexnet_spec(groups=False), chip)
+        assert grouped < dense
+
+
+class TestCompareDeployments:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_deployments(
+            lenet_spec(), ChipConfig.table2(16),
+            SimConfig(include_input_load=False),
+        )
+
+    def test_model_parallel_wins_latency(self, comparison):
+        """The paper's QoS argument: cooperating cores answer sooner."""
+        assert comparison.latency_advantage > 1.0
+
+    def test_data_parallel_wins_throughput(self, comparison):
+        """And the datacenter argument: independent inferences deliver more
+        total work because no cycles go to synchronization."""
+        assert comparison.throughput_advantage > 1.0
+
+    def test_throughput_definitions(self, comparison):
+        assert comparison.model_parallel_throughput == pytest.approx(
+            1e6 / comparison.model_parallel_latency
+        )
+        assert comparison.data_parallel_throughput == pytest.approx(
+            16e6 / comparison.data_parallel_latency
+        )
+
+    def test_latency_advantage_shrinks_with_comm(self):
+        """On a chip with a very slow NoC the model-parallel latency edge
+        shrinks (communication eats the parallel speedup)."""
+        from dataclasses import replace
+
+        fast_chip = ChipConfig.table2(16)
+        slow_chip = ChipConfig.table2(16)
+        slow_chip.noc = replace(slow_chip.noc, core_clock_divider=64)
+        cfg = SimConfig(include_input_load=False)
+        fast = compare_deployments(lenet_spec(), fast_chip, cfg)
+        slow = compare_deployments(lenet_spec(), slow_chip, cfg)
+        assert slow.latency_advantage < fast.latency_advantage

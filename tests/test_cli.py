@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestCLI:
+    def test_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "vgg19" in out
+
+    def test_runs_motivation_fast(self, capsys):
+        assert main(["motivation", "--profile", "fast"]) == 0
+        assert "communication" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--profile", "huge"])
+
+
+class TestCLIAblations:
+    def test_runs_mapping_ablation(self, capsys):
+        assert main(["ablation-mapping"]) == 0
+        out = capsys.readouterr().out
+        assert "rigid" in out and "adaptive" in out
+
+    def test_runs_pipeline_ablation(self, capsys):
+        assert main(["ablation-pipeline"]) == 0
+        assert "intra-layer" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""End-to-end integration tests: train -> sparsify -> plan -> simulate.
+
+These run the entire reproduction pipeline on a small model and assert the
+paper's *qualitative* claims — the properties that must hold for the
+reproduction to be meaningful — rather than exact numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import ChipConfig
+from repro.datasets import SyntheticImageDataset
+from repro.noc import Mesh2D
+from repro.nn import Dense, ReLU, Sequential
+from repro.partition import build_sparsified_plan
+from repro.sim import InferenceSimulator
+from repro.train import SparsifyConfig, TrainConfig, Trainer, train_sparsified
+
+NUM_CORES = 16
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Train a baseline and both sparsified schemes once for all tests."""
+    dataset = SyntheticImageDataset.generate(
+        "integration", (1, 16, 16), num_classes=6, train_size=400, test_size=150,
+        noise=1.5, max_shift=1, seed=21, flat=True,
+    )
+    rng = np.random.default_rng(5)
+    def build():
+        r = np.random.default_rng(5)
+        return Sequential(
+            [
+                Dense(256, 128, name="fc1", rng=r),
+                ReLU(),
+                Dense(128, 64, name="fc2", rng=r),
+                ReLU(),
+                Dense(64, 6, name="fc3", rng=r),
+            ],
+            input_shape=(256,),
+            name="integration-mlp",
+        )
+
+    model = build()
+    Trainer(model, TrainConfig(epochs=10, lr=0.05)).fit(dataset)
+    base_acc = model.accuracy(dataset.x_test, dataset.y_test)
+    base_state = model.state_dict()
+
+    chip = ChipConfig.table2(NUM_CORES)
+    sim = InferenceSimulator(chip)
+    base_plan = build_sparsified_plan(model, NUM_CORES, scheme="baseline")
+    base_result = sim.simulate(base_plan)
+
+    config = SparsifyConfig(
+        lam_g=0.15,
+        sparsify=TrainConfig(epochs=5, lr=0.05, weight_decay=0.0),
+        finetune=TrainConfig(epochs=3, lr=0.02),
+    )
+    outcomes = {}
+    for scheme in ("ss", "ss_mask"):
+        m = build()
+        m.load_state_dict(base_state)
+        res = train_sparsified(m, dataset, NUM_CORES, scheme, config)
+        plan = build_sparsified_plan(m, NUM_CORES, scheme=scheme)
+        outcomes[scheme] = {
+            "accuracy": res.accuracy,
+            "plan": plan,
+            "result": sim.simulate(plan),
+        }
+    return {
+        "dataset": dataset,
+        "base_acc": base_acc,
+        "base_plan": base_plan,
+        "base_result": base_result,
+        "outcomes": outcomes,
+    }
+
+
+class TestPaperClaims:
+    def test_baseline_trains(self, pipeline):
+        assert pipeline["base_acc"] > 0.6
+
+    def test_sparsified_reduces_traffic(self, pipeline):
+        for scheme in ("ss", "ss_mask"):
+            plan = pipeline["outcomes"][scheme]["plan"]
+            assert plan.traffic_rate_vs(pipeline["base_plan"]) < 0.9
+
+    def test_sparsified_speeds_up(self, pipeline):
+        for scheme in ("ss", "ss_mask"):
+            result = pipeline["outcomes"][scheme]["result"]
+            assert result.speedup_vs(pipeline["base_result"]) > 1.0
+
+    def test_sparsified_saves_noc_energy(self, pipeline):
+        for scheme in ("ss", "ss_mask"):
+            result = pipeline["outcomes"][scheme]["result"]
+            assert result.comm_energy_reduction_vs(pipeline["base_result"]) > 0.1
+
+    def test_accuracy_mostly_preserved(self, pipeline):
+        for scheme in ("ss", "ss_mask"):
+            assert pipeline["outcomes"][scheme]["accuracy"] >= pipeline["base_acc"] - 0.1
+
+    def test_ss_mask_traffic_stays_local(self, pipeline):
+        """The paper's central claim: SS_Mask's surviving traffic travels
+        fewer hops than SS's."""
+        mesh = Mesh2D.for_nodes(NUM_CORES)
+
+        def avg_hops(plan):
+            weighted = [
+                lp.traffic.weighted_average_distance(mesh)
+                for lp in plan.layers
+                if lp.traffic.total_bytes
+            ]
+            return np.mean(weighted) if weighted else 0.0
+
+        ss_hops = avg_hops(pipeline["outcomes"]["ss"]["plan"])
+        mask_hops = avg_hops(pipeline["outcomes"]["ss_mask"]["plan"])
+        assert mask_hops < ss_hops
+
+    def test_ss_mask_energy_per_byte_lower(self, pipeline):
+        """Shorter distances: SS_Mask spends less NoC energy per byte moved."""
+        def energy_per_byte(entry):
+            r = entry["result"]
+            bytes_moved = r.total_traffic_bytes
+            return r.noc_energy_j / bytes_moved if bytes_moved else 0.0
+
+        ss = energy_per_byte(pipeline["outcomes"]["ss"])
+        mask = energy_per_byte(pipeline["outcomes"]["ss_mask"])
+        if ss and mask:
+            assert mask < ss
+
+
+class TestDeterminism:
+    def test_simulation_deterministic(self, pipeline):
+        sim = InferenceSimulator(ChipConfig.table2(NUM_CORES))
+        a = sim.simulate(pipeline["base_plan"])
+        b = sim.simulate(pipeline["base_plan"])
+        assert a.total_cycles == b.total_cycles
+        assert a.noc_energy_j == b.noc_energy_j
