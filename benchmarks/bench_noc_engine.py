@@ -1,0 +1,81 @@
+"""Event-driven engine vs the cycle-stepping reference on burst drains.
+
+The workloads mirror the layer-transition bursts the inference engine
+actually simulates: a handful of producer cores streaming activations to a
+handful of consumers, leaving most of the fabric idle.  That is exactly the
+regime the event-driven engine targets — idle routers never execute, idle
+cycle spans are skipped through the event heap — so these two drains are the
+headline speedup numbers (recorded in ``BENCH_noc.json`` by
+``scripts/record_noc_bench.py``).  A saturated uniform-random burst is
+included as the honest worst case: with every router busy every cycle there
+is nothing to skip and the gain is only the per-event bookkeeping savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noc import (
+    Mesh2D,
+    NoCConfig,
+    NoCSimulator,
+    ReferenceNoCSimulator,
+    TrafficMatrix,
+    uniform_random_traffic,
+)
+
+
+def pair_stream_4x4() -> tuple[Mesh2D, TrafficMatrix]:
+    """One producer core streaming a layer's activations to its neighbor."""
+    m = np.zeros((16, 16), dtype=np.int64)
+    m[5, 6] = 80_000
+    return Mesh2D(4, 4), TrafficMatrix(m, label="pair-stream-4x4")
+
+
+def group_stream_8x8() -> tuple[Mesh2D, TrafficMatrix]:
+    """A 2x2 producer block fanning out to the adjacent 2x2 consumer block."""
+    m = np.zeros((64, 64), dtype=np.int64)
+    for src in (0, 1, 8, 9):
+        for dst in (2, 3, 10, 11):
+            m[src, dst] = 40_000
+    return Mesh2D(8, 8), TrafficMatrix(m, label="group-stream-8x8")
+
+
+def saturated_uniform_4x4() -> tuple[Mesh2D, TrafficMatrix]:
+    return Mesh2D(4, 4), uniform_random_traffic(16, 16 * 15 * 1216, seed=7)
+
+
+CASES = {
+    "burst_drain_4x4": pair_stream_4x4,
+    "burst_drain_8x8": group_stream_8x8,
+    "saturated_4x4": saturated_uniform_4x4,
+}
+
+
+def _drain(engine_cls, mesh, traffic, config):
+    sim = engine_cls(mesh, config)
+    sim.inject(traffic.to_packets(config))
+    return sim.run()
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize(
+    "engine_cls", [NoCSimulator, ReferenceNoCSimulator], ids=["event", "reference"]
+)
+def test_benchmark_burst_drain(benchmark, case, engine_cls):
+    mesh, traffic = CASES[case]()
+    config = NoCConfig()
+    stats = benchmark(_drain, engine_cls, mesh, traffic, config)
+    assert stats.packets_delivered > 0
+    assert stats.flits_delivered > 0
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_engines_agree(case):
+    """The two engines being benchmarked must produce identical stats."""
+    mesh, traffic = CASES[case]()
+    config = NoCConfig()
+    fast = _drain(NoCSimulator, mesh, traffic, config)
+    ref = _drain(ReferenceNoCSimulator, mesh, traffic, config)
+    assert fast == ref

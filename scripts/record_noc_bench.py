@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Record event-driven NoC engine speedups into ``BENCH_noc.json``.
+
+Times the same burst-drain workloads as ``benchmarks/bench_noc_engine.py``
+with ``time.perf_counter`` (best of N runs per engine), asserts the two
+engines produce identical ``NoCStats``, and writes the speedup table to
+``BENCH_noc.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_noc_bench.py [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT))
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.noc import NoCConfig, NoCSimulator, ReferenceNoCSimulator  # noqa: E402
+
+from benchmarks.bench_noc_engine import CASES, _drain  # noqa: E402
+
+
+def best_of(engine_cls, mesh, traffic, config, rounds: int):
+    best = float("inf")
+    stats = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        stats = _drain(engine_cls, mesh, traffic, config)
+        best = min(best, time.perf_counter() - t0)
+    return best, stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5, help="runs per engine")
+    args = parser.parse_args()
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+
+    config = NoCConfig()
+    results = {}
+    for name, make_case in CASES.items():
+        mesh, traffic = make_case()
+        fast_s, fast_stats = best_of(NoCSimulator, mesh, traffic, config, args.rounds)
+        ref_s, ref_stats = best_of(
+            ReferenceNoCSimulator, mesh, traffic, config, args.rounds
+        )
+        assert fast_stats == ref_stats, f"{name}: engines diverge"
+        results[name] = {
+            "mesh": f"{mesh.width}x{mesh.height}",
+            "total_bytes": int(traffic.total_bytes),
+            "drain_cycles": fast_stats.cycles,
+            "event_engine_s": round(fast_s, 6),
+            "reference_s": round(ref_s, 6),
+            "speedup": round(ref_s / fast_s, 2),
+        }
+        print(
+            f"{name:>18}: event {fast_s * 1e3:8.1f} ms   "
+            f"reference {ref_s * 1e3:8.1f} ms   "
+            f"speedup {ref_s / fast_s:6.2f}x"
+        )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_noc.json"
+    out.write_text(json.dumps({"rounds": args.rounds, "cases": results}, indent=2))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,7 +22,15 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["cache_dir", "settings_key", "load_state", "save_state", "cached_json"]
+__all__ = [
+    "cache_dir",
+    "settings_key",
+    "load_state",
+    "save_state",
+    "load_json",
+    "save_json",
+    "cached_json",
+]
 
 
 def cache_dir() -> Path:
@@ -59,19 +67,39 @@ def load_state(key: str) -> dict[str, np.ndarray] | None:
         return None
 
 
+def load_json(key: str) -> dict | None:
+    """Load a cached JSON entry, or None when absent/corrupt.
+
+    Mirrors :func:`load_state`'s tolerance: unreadable or unparseable files
+    (and non-object payloads) behave exactly like cache misses.
+    """
+    path = cache_dir() / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def save_json(key: str, data: dict) -> Path:
+    """Persist JSON-serializable plain data under ``key``."""
+    path = cache_dir() / f"{key}.json"
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, default=float)
+    return path
+
+
 def cached_json(key: str, compute: Callable[[], dict]) -> dict:
     """Load a cached JSON result or compute and store it.
 
     ``compute`` must return JSON-serializable plain data.
     """
-    path = cache_dir() / f"{key}.json"
-    if path.exists():
-        try:
-            with open(path) as f:
-                return json.load(f)
-        except (OSError, json.JSONDecodeError):
-            pass
+    result = load_json(key)
+    if result is not None:
+        return result
     result = compute()
-    with open(path, "w") as f:
-        json.dump(result, f, indent=2, default=float)
+    save_json(key, result)
     return result

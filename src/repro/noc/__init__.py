@@ -9,7 +9,8 @@ from .analytical import AnalyticalEstimate, estimate_drain_cycles, link_loads
 from .energy import EnergyBreakdown, NoCEnergyModel
 from .network import EnergyEvents, NoCSimulator, NoCStats
 from .packet import Flit, NoCConfig, Packet, segment_message
-from .routing import xy_route_path, xy_route_port
+from .reference import ReferenceNoCSimulator
+from .routing import xy_route_path, xy_route_port, xy_route_ports
 from .topology import Mesh2D, mesh_dims
 from .traffic import (
     TrafficMatrix,
@@ -23,11 +24,13 @@ __all__ = [
     "mesh_dims",
     "xy_route_port",
     "xy_route_path",
+    "xy_route_ports",
     "NoCConfig",
     "Packet",
     "Flit",
     "segment_message",
     "NoCSimulator",
+    "ReferenceNoCSimulator",
     "NoCStats",
     "EnergyEvents",
     "TrafficMatrix",

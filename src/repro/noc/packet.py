@@ -78,6 +78,12 @@ class Packet:
     # Filled in by the simulator:
     head_arrival_cycle: int = -1
     tail_arrival_cycle: int = -1
+    # Precomputed per-hop output ports (set at injection by the event-driven
+    # simulator; ``route[h]`` is the port taken at the h-th router, ending
+    # with LOCAL at the destination).  Excluded from equality: two packets
+    # carrying the same traffic are the same packet whether or not a
+    # simulator has annotated them yet.
+    route: tuple[int, ...] | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_flits < 2:
@@ -96,7 +102,7 @@ class Packet:
 class Flit:
     """One flit of a packet travelling through the network."""
 
-    __slots__ = ("packet", "index", "is_head", "is_tail", "ready_cycle")
+    __slots__ = ("packet", "index", "is_head", "is_tail", "ready_cycle", "hop")
 
     def __init__(self, packet: Packet, index: int) -> None:
         self.packet = packet
@@ -106,6 +112,10 @@ class Flit:
         # Cycle at which this flit has finished the router pipeline at its
         # current router and may compete for switch traversal.
         self.ready_cycle = 0
+        # Index into the packet's precomputed route: how many routers this
+        # flit has traversed so far (maintained for head flits, whose route
+        # lookup replaces per-cycle XY recomputation).
+        self.hop = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from .topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh2D
 
-__all__ = ["xy_route_port", "xy_route_path"]
+__all__ = ["xy_route_port", "xy_route_path", "xy_route_ports"]
 
 
 def xy_route_port(mesh: Mesh2D, current: int, dest: int) -> int:
@@ -28,6 +28,26 @@ def xy_route_port(mesh: Mesh2D, current: int, dest: int) -> int:
     if cy < dy:
         return SOUTH
     return LOCAL
+
+
+def xy_route_ports(mesh: Mesh2D, src: int, dest: int) -> tuple[int, ...]:
+    """Output port taken at each router along the XY route, ending with LOCAL.
+
+    ``ports[h]`` is the output port a packet takes at its ``h``-th router
+    (hop 0 is the source router); the final entry is ``LOCAL`` at the
+    destination.  XY routing is deterministic, so the whole route can be
+    computed once at injection time instead of re-deriving the port for
+    every waiting head flit every cycle.
+    """
+    ports = []
+    current = src
+    for _ in range(mesh.diameter + 1):
+        port = xy_route_port(mesh, current, dest)
+        ports.append(port)
+        if port == LOCAL:
+            return tuple(ports)
+        current = mesh.neighbor(current, port)
+    raise RuntimeError(f"routing loop from {src} to {dest}")  # pragma: no cover
 
 
 def xy_route_path(mesh: Mesh2D, src: int, dest: int) -> list[int]:

@@ -20,23 +20,84 @@ Communication simulation modes
                  ~linear in volume; tests check the extrapolation error);
 ``analytical``   closed-form bound only (used when cycle accuracy is not
                  needed, e.g. quick sweeps).
+
+Drain-time memoization
+----------------------
+The same layer-transition bursts recur across schemes, tables, and benchmark
+reruns (a plan's traffic matrix depends only on the model, partitioning, and
+placement — not on which experiment asks for it).  Cycle-level drain results
+are therefore memoized persistently via :mod:`repro.experiments.cache`
+(``$REPRO_CACHE_DIR``, default ``.repro_cache/``), keyed on a hash of the
+exact traffic matrix, every :class:`~repro.noc.packet.NoCConfig` field, and
+the mesh shape, so any change to the network or the traffic invalidates the
+entry.  Corrupt or truncated entries fall back to fresh simulation, exactly
+like ``load_state``.  Disable with ``SimConfig(comm_cache=False)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..accel.chip import ChipConfig
 from ..noc.analytical import estimate_drain_cycles
 from ..noc.energy import EnergyBreakdown
-from ..noc.network import NoCSimulator
+from ..noc.network import EnergyEvents, NoCSimulator, NoCStats
+from ..noc.packet import NoCConfig
+from ..noc.topology import Mesh2D
 from ..noc.traffic import TrafficMatrix
 from ..partition.plan import LayerPlan, ModelParallelPlan
 from .results import LayerTimeline, SimulationResult
 
-__all__ = ["SimConfig", "InferenceSimulator"]
+__all__ = ["SimConfig", "InferenceSimulator", "drain_memo_key"]
+
+#: Bump to invalidate all memoized drain results (e.g. if simulator semantics
+#: ever intentionally change).
+_DRAIN_MEMO_VERSION = 1
+
+
+def _cache():
+    """The artifact-cache module, imported lazily.
+
+    ``repro.experiments`` pulls in the experiment runners (which import this
+    module), so a top-level import would be circular; ``cache`` itself has no
+    dependency on the simulator.
+    """
+    from ..experiments import cache
+
+    return cache
+
+_ENERGY_FIELDS = (
+    "buffer_writes",
+    "buffer_reads",
+    "crossbar_traversals",
+    "link_traversals",
+    "vc_allocations",
+    "sa_arbitrations",
+)
+
+
+def drain_memo_key(mesh: Mesh2D, noc: NoCConfig, traffic: TrafficMatrix) -> str:
+    """Persistent cache key for one burst's cycle-level drain result.
+
+    Any change to the mesh shape, any ``NoCConfig`` field, or any byte of the
+    traffic matrix produces a different key.
+    """
+    traffic_sha = hashlib.sha256(
+        repr(traffic.bytes_matrix.shape).encode()
+        + np.ascontiguousarray(traffic.bytes_matrix).tobytes()
+    ).hexdigest()
+    return _cache().settings_key(
+        "noc-drain",
+        {
+            "version": _DRAIN_MEMO_VERSION,
+            "mesh": [mesh.width, mesh.height],
+            "noc": asdict(noc),
+            "traffic_sha": traffic_sha,
+        },
+    )
 
 
 @dataclass(frozen=True)
@@ -49,6 +110,8 @@ class SimConfig:
     # Charge the scheme-independent cost of fetching the input image from
     # DRAM and broadcasting it to all cores before the first layer.
     include_input_load: bool = True
+    # Memoize cycle-level drain results persistently (see module docstring).
+    comm_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.comm_mode not in ("auto", "cycle", "analytical"):
@@ -183,8 +246,60 @@ class InferenceSimulator:
         return noc_cycles_full * cfg.core_clock_divider, flit_hops, energy, "scaled-cycle"
 
     def _cycle_sim(self, traffic: TrafficMatrix) -> tuple[int, int, EnergyBreakdown]:
-        sim = NoCSimulator(self.chip.mesh, self.chip.noc)
-        sim.inject(traffic.to_packets(self.chip.noc))
+        chip = self.chip
+        key = None
+        if self.config.comm_cache:
+            key = drain_memo_key(chip.mesh, chip.noc, traffic)
+            memo = _load_drain_memo(key)
+            if memo is not None:
+                cycles, flit_hops, events = memo
+                stats = NoCStats(
+                    cycles=cycles,
+                    packets_delivered=0,
+                    flits_delivered=0,
+                    flit_hops=flit_hops,
+                    avg_packet_latency=0.0,
+                    max_packet_latency=0,
+                    energy=events,
+                )
+                energy = chip.noc_energy.simulation_energy(stats, chip.mesh.num_nodes)
+                return cycles, flit_hops, energy
+
+        sim = NoCSimulator(chip.mesh, chip.noc)
+        sim.inject(traffic.to_packets(chip.noc))
         stats = sim.run()
-        energy = self.chip.noc_energy.simulation_energy(stats, self.chip.mesh.num_nodes)
+        energy = chip.noc_energy.simulation_energy(stats, chip.mesh.num_nodes)
+        if key is not None:
+            _cache().save_json(
+                key,
+                {
+                    "cycles": stats.cycles,
+                    "flit_hops": stats.flit_hops,
+                    "energy": {f: getattr(stats.energy, f) for f in _ENERGY_FIELDS},
+                },
+            )
         return stats.cycles, stats.flit_hops, energy
+
+
+def _load_drain_memo(key: str) -> tuple[int, int, EnergyEvents] | None:
+    """Validated memo entry ``(cycles, flit_hops, energy)``, or None.
+
+    Schema violations (missing keys, wrong types, stray fields from an old
+    format) are treated as cache misses, so a corrupt or stale entry can
+    never poison a run — it is simply re-simulated and overwritten.
+    """
+    data = _cache().load_json(key)
+    if data is None:
+        return None
+    try:
+        cycles = data["cycles"]
+        flit_hops = data["flit_hops"]
+        raw = data["energy"]
+        if not isinstance(cycles, int) or not isinstance(flit_hops, int):
+            return None
+        counts = {f: raw[f] for f in _ENERGY_FIELDS}
+        if any(not isinstance(v, int) for v in counts.values()):
+            return None
+        return cycles, flit_hops, EnergyEvents(**counts)
+    except (KeyError, TypeError):
+        return None

@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.accel import ChipConfig
 from repro.datasets import SyntheticImageDataset
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_repro_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session temp dir.
+
+    Keeps tests from reading stale drain-time memo entries produced by an
+    older checkout (which could mask simulator regressions) and from
+    littering the working directory.  Tests that need their own cache dir
+    still override this via ``monkeypatch.setenv``.
+    """
+    prev = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro_cache"))
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prev
 
 
 @pytest.fixture

@@ -1,0 +1,163 @@
+"""Persistent drain-time memoization in the inference engine.
+
+The memo layer must be invisible in the numbers (warm runs reproduce cold
+runs exactly), keyed so that *any* change to the network or the traffic
+invalidates the entry, and robust to corrupt cache files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.accel import ChipConfig
+from repro.experiments import cache
+from repro.models import get_spec
+from repro.noc import Mesh2D, NoCConfig, TrafficMatrix, uniform_random_traffic
+from repro.partition import build_traditional_plan
+from repro.sim.engine import InferenceSimulator, SimConfig, drain_memo_key
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_traditional_plan(get_spec("lenet"), 16)
+
+
+def timeline_numbers(result):
+    return [
+        (t.layer_name, t.compute_cycles, t.comm_cycles, t.flit_hops, t.noc_energy)
+        for t in result.layers
+    ]
+
+
+class TestWarmRuns:
+    def test_warm_run_is_identical(self, cache_dir, chip16, plan):
+        sim = InferenceSimulator(chip16, SimConfig())
+        cold = sim.simulate(plan)
+        assert list(cache_dir.glob("noc-drain-*.json")), "cold run wrote no entries"
+        warm = sim.simulate(plan)
+        assert timeline_numbers(cold) == timeline_numbers(warm)
+
+    def test_warm_run_skips_cycle_simulation(self, cache_dir, chip16, plan, monkeypatch):
+        sim = InferenceSimulator(chip16, SimConfig())
+        sim.simulate(plan)
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("warm run must not construct a NoCSimulator")
+
+        monkeypatch.setattr(engine_mod, "NoCSimulator", boom)
+        sim.simulate(plan)  # served entirely from the memo
+
+    def test_memo_matches_uncached(self, cache_dir, chip16, plan):
+        cached = InferenceSimulator(chip16, SimConfig()).simulate(plan)
+        warm = InferenceSimulator(chip16, SimConfig()).simulate(plan)
+        uncached = InferenceSimulator(
+            chip16, SimConfig(comm_cache=False)
+        ).simulate(plan)
+        assert timeline_numbers(cached) == timeline_numbers(uncached)
+        assert timeline_numbers(warm) == timeline_numbers(uncached)
+
+    def test_disabled_cache_writes_nothing(self, cache_dir, chip16, plan):
+        InferenceSimulator(chip16, SimConfig(comm_cache=False)).simulate(plan)
+        assert not list(cache_dir.glob("noc-drain-*.json"))
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, cache_dir):
+        mesh = Mesh2D(4, 4)
+        traffic = uniform_random_traffic(16, 10_000, seed=5)
+        assert drain_memo_key(mesh, NoCConfig(), traffic) == drain_memo_key(
+            mesh, NoCConfig(), traffic
+        )
+
+    def test_every_noc_field_changes_key(self, cache_dir):
+        mesh = Mesh2D(4, 4)
+        traffic = uniform_random_traffic(16, 10_000, seed=5)
+        base_cfg = NoCConfig()
+        base = drain_memo_key(mesh, base_cfg, traffic)
+        for field in dataclasses.fields(NoCConfig):
+            value = getattr(base_cfg, field.name)
+            bumped = value * 2 if isinstance(value, (int, float)) else value
+            changed = dataclasses.replace(base_cfg, **{field.name: bumped})
+            assert drain_memo_key(mesh, changed, traffic) != base, field.name
+
+    def test_mesh_shape_changes_key(self, cache_dir):
+        traffic = uniform_random_traffic(16, 10_000, seed=5)
+        assert drain_memo_key(Mesh2D(4, 4), NoCConfig(), traffic) != drain_memo_key(
+            Mesh2D(8, 2), NoCConfig(), traffic
+        )
+
+    def test_traffic_bytes_change_key(self, cache_dir):
+        mesh = Mesh2D(4, 4)
+        traffic = uniform_random_traffic(16, 10_000, seed=5)
+        perturbed = TrafficMatrix(
+            traffic.bytes_matrix + np.eye(16, dtype=traffic.bytes_matrix.dtype) * 0,
+            label=traffic.label,
+        )
+        # Identical bytes -> identical key even through a fresh array object.
+        assert drain_memo_key(mesh, NoCConfig(), perturbed) == drain_memo_key(
+            mesh, NoCConfig(), traffic
+        )
+        bumped_m = traffic.bytes_matrix.copy()
+        bumped_m[0, 1] += 64
+        bumped = TrafficMatrix(bumped_m, label=traffic.label)
+        assert drain_memo_key(mesh, NoCConfig(), bumped) != drain_memo_key(
+            mesh, NoCConfig(), traffic
+        )
+
+
+class TestCorruptEntries:
+    def _one_layer_plan(self, plan):
+        """The busiest layer only — enough to exercise a single memo entry."""
+        lp = max(plan.layers, key=lambda l: l.traffic.total_bytes)
+        return lp
+
+    def _corrupt_all(self, cache_dir, payload: str):
+        entries = list(cache_dir.glob("noc-drain-*.json"))
+        assert entries
+        for path in entries:
+            path.write_text(payload)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{ not json",
+            json.dumps([1, 2, 3]),
+            json.dumps({"cycles": "many", "flit_hops": 3, "energy": {}}),
+            json.dumps({"cycles": 10}),
+            json.dumps(
+                {
+                    "cycles": 10,
+                    "flit_hops": 3,
+                    "energy": {"buffer_writes": 1},  # missing counters
+                }
+            ),
+        ],
+    )
+    def test_corrupt_entry_falls_back_to_simulation(
+        self, cache_dir, chip16, plan, payload
+    ):
+        sim = InferenceSimulator(chip16, SimConfig())
+        cold = sim.simulate(plan)
+        self._corrupt_all(cache_dir, payload)
+        recovered = sim.simulate(plan)
+        assert timeline_numbers(recovered) == timeline_numbers(cold)
+        # The bad entries were overwritten with valid ones.
+        for path in cache_dir.glob("noc-drain-*.json"):
+            data = json.loads(path.read_text())
+            assert isinstance(data["cycles"], int)
+
+    def test_load_json_rejects_non_dict(self, cache_dir):
+        cache.save_json("probe", {"x": 1})
+        (cache_dir / "probe.json").write_text("[]")
+        assert cache.load_json("probe") is None
