@@ -120,7 +120,6 @@ def placement_rows(profile):
 
 def test_benchmark_placement(benchmark, placement_rows, profile):
     """Timed body: annealed placement search on the SS traffic pattern."""
-    import numpy as np
 
     from repro.experiments.common import train_baseline
     from repro.noc import Mesh2D

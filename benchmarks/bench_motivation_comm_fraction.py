@@ -41,7 +41,7 @@ def scaling_rows():
 def test_benchmark_motivation_scaling(benchmark, scaling_rows):
     from repro.experiments.motivation import run_motivation_scaling
 
-    rows = benchmark.pedantic(
+    benchmark.pedantic(
         run_motivation_scaling, kwargs={"core_counts": (4, 16)}, rounds=2,
         iterations=1,
     )

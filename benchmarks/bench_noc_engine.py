@@ -9,6 +9,13 @@ headline speedup numbers (recorded in ``BENCH_noc.json`` by
 ``scripts/record_noc_bench.py``).  A saturated uniform-random burst is
 included as the honest worst case: with every router busy every cycle there
 is nothing to skip and the gain is only the per-event bookkeeping savings.
+
+The telemetry benchmarks time the same drains through the observability
+layer: ``telemetry=off`` runs with tracing disabled and no profile attached
+(the default production path — must cost nothing next to the plain engine;
+``scripts/record_noc_bench.py`` records that overhead into ``BENCH_noc.json``
+and asserts it stays under 2%), ``telemetry=on`` runs with tracing enabled
+and per-link profiling accumulating.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.noc import (
     Mesh2D,
     NoCConfig,
@@ -24,6 +32,7 @@ from repro.noc import (
     TrafficMatrix,
     uniform_random_traffic,
 )
+from repro.obs import NoCProfile
 
 
 def pair_stream_4x4() -> tuple[Mesh2D, TrafficMatrix]:
@@ -59,6 +68,28 @@ def _drain(engine_cls, mesh, traffic, config):
     return sim.run()
 
 
+def _drain_telemetry(mesh, traffic, config, enabled: bool):
+    """One event-engine drain through the observability layer.
+
+    ``enabled=False`` is the production default (tracing off, no profile);
+    ``enabled=True`` wraps the drain in a span and accumulates a per-link
+    profile.  Returns ``(stats, profile)``.
+    """
+    profile = NoCProfile(mesh.width, mesh.height) if enabled else None
+    collector = obs.TraceCollector() if enabled else None
+    if enabled:
+        obs.enable_tracing(collector)
+    try:
+        with obs.span("bench.drain", mesh=f"{mesh.width}x{mesh.height}"):
+            sim = NoCSimulator(mesh, config, profile=profile)
+            sim.inject(traffic.to_packets(config))
+            stats = sim.run()
+    finally:
+        if enabled:
+            obs.disable_tracing()
+    return stats, profile
+
+
 @pytest.mark.parametrize("case", CASES)
 @pytest.mark.parametrize(
     "engine_cls", [NoCSimulator, ReferenceNoCSimulator], ids=["event", "reference"]
@@ -72,6 +103,16 @@ def test_benchmark_burst_drain(benchmark, case, engine_cls):
 
 
 @pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("telemetry", ["off", "on"], ids=["telemetry-off", "telemetry-on"])
+def test_benchmark_telemetry(benchmark, case, telemetry):
+    """Event-engine drain through the obs layer, tracing disabled vs enabled."""
+    mesh, traffic = CASES[case]()
+    config = NoCConfig()
+    stats, _ = benchmark(_drain_telemetry, mesh, traffic, config, telemetry == "on")
+    assert stats.packets_delivered > 0
+
+
+@pytest.mark.parametrize("case", CASES)
 def test_engines_agree(case):
     """The two engines being benchmarked must produce identical stats."""
     mesh, traffic = CASES[case]()
@@ -79,3 +120,15 @@ def test_engines_agree(case):
     fast = _drain(NoCSimulator, mesh, traffic, config)
     ref = _drain(ReferenceNoCSimulator, mesh, traffic, config)
     assert fast == ref
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_profiling_leaves_stats_identical(case):
+    """Attaching a NoCProfile must not change NoCStats on either engine."""
+    mesh, traffic = CASES[case]()
+    config = NoCConfig()
+    plain = _drain(NoCSimulator, mesh, traffic, config)
+    profiled, profile = _drain_telemetry(mesh, traffic, config, enabled=True)
+    assert profiled == plain
+    assert profile.total_flit_hops == plain.flit_hops
+    assert int(profile.link_flits[:, 0].sum()) == plain.flits_delivered

@@ -7,12 +7,10 @@ Run:  python examples/quickstart.py
 from repro.accel import ChipConfig
 from repro.datasets import synthetic_mnist
 from repro.models import build_mlp
-from repro.nn import Sequential
 from repro.partition import build_sparsified_plan
 from repro.sim import InferenceSimulator
 from repro.train import SparsifyConfig, TrainConfig, Trainer, train_sparsified
 from repro.analysis import render_table
-
 
 def main() -> None:
     num_cores = 16

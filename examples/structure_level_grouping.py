@@ -13,7 +13,7 @@ from repro.analysis import render_table
 from repro.datasets import synthetic_imagenet10
 from repro.models import NetworkSpec, build_table3_convnet
 from repro.partition import build_traditional_plan
-from repro.sim import InferenceSimulator, SimConfig
+from repro.sim import InferenceSimulator
 from repro.accel import ChipConfig
 from repro.train import TrainConfig, Trainer
 

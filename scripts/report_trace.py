@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Summarize a JSONL trace written by ``repro-experiments --trace``.
+
+Prints a per-phase time breakdown (spans aggregated by name with total/self
+time), the run's metrics snapshot, and an ASCII mesh heatmap of NoC link
+utilization for every profiled mesh shape.
+
+Usage::
+
+    PYTHONPATH=src python scripts/report_trace.py trace.jsonl [--top-links N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.analysis.trace_report import summarize_trace  # noqa: E402
+from repro.obs import read_jsonl  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSONL trace file from repro-experiments --trace")
+    args = parser.parse_args()
+
+    path = Path(args.trace)
+    if not path.exists():
+        parser.error(f"no such trace file: {path}")
+    print(summarize_trace(read_jsonl(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

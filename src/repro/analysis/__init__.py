@@ -1,5 +1,6 @@
 """Metrics and report rendering."""
 
+from .heatmap import render_mesh_heatmap
 from .metrics import (
     geometric_mean,
     reduction,
@@ -8,6 +9,7 @@ from .metrics import (
     within_factor,
 )
 from .tables import format_value, render_table
+from .trace_report import phase_breakdown, render_metrics_snapshot, summarize_trace
 
 __all__ = [
     "speedup",
@@ -17,4 +19,8 @@ __all__ = [
     "within_factor",
     "render_table",
     "format_value",
+    "render_mesh_heatmap",
+    "phase_breakdown",
+    "render_metrics_snapshot",
+    "summarize_trace",
 ]

@@ -1,0 +1,110 @@
+"""Summarize JSONL traces produced by ``repro-experiments --trace``.
+
+The trace file interleaves three record types (see :func:`repro.obs.export_trace`):
+``span`` records (one per finished span, children before parents), one
+``metrics`` snapshot, and one ``noc_profile`` per mesh shape.  The summary
+prints:
+
+* a **per-phase time breakdown** — spans aggregated by name with call count,
+  total time, and *self* time (total minus time spent in child spans), sorted
+  by self time so the hot phase tops the list;
+* the **metrics snapshot** (counters / gauges / histograms);
+* an **ASCII mesh heatmap** per profiled mesh shape
+  (:func:`repro.analysis.heatmap.render_mesh_heatmap`).
+
+``scripts/report_trace.py`` is the command-line wrapper around
+:func:`summarize_trace`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from ..obs.nocprof import NoCProfile
+from .heatmap import render_mesh_heatmap
+from .tables import render_table
+
+__all__ = ["phase_breakdown", "render_metrics_snapshot", "summarize_trace"]
+
+
+def phase_breakdown(records: list[dict[str, Any]]) -> str:
+    """Aggregate span records by name into a total/self time table."""
+    spans = [r for r in records if r.get("type") == "span"]
+    if not spans:
+        return "no spans in trace (was tracing enabled?)"
+
+    child_time: dict[int, float] = defaultdict(float)
+    for s in spans:
+        if s.get("parent") is not None:
+            child_time[s["parent"]] += s["dur_s"]
+
+    agg: dict[str, list[float]] = {}  # name -> [count, total_s, self_s]
+    root_total = 0.0
+    for s in spans:
+        entry = agg.setdefault(s["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += s["dur_s"]
+        entry[2] += max(0.0, s["dur_s"] - child_time.get(s["id"], 0.0))
+        if s.get("parent") is None:
+            root_total += s["dur_s"]
+
+    rows = []
+    for name, (count, total, self_s) in sorted(
+        agg.items(), key=lambda kv: -kv[1][2]
+    ):
+        share = self_s / root_total if root_total else 0.0
+        rows.append(
+            [
+                name,
+                int(count),
+                f"{total:.3f}",
+                f"{self_s:.3f}",
+                f"{share:.1%}",
+                f"{total / count:.4f}",
+            ]
+        )
+    return render_table(
+        ["phase", "count", "total s", "self s", "self %", "mean s"],
+        rows,
+        title=f"per-phase time breakdown ({len(spans)} spans, "
+        f"{root_total:.3f}s traced)",
+    )
+
+
+def render_metrics_snapshot(snapshot: dict[str, Any]) -> str:
+    """Text rendering of an exported metrics snapshot."""
+    lines = ["metrics snapshot:"]
+    for section in ("counters", "gauges"):
+        entries = snapshot.get(section) or {}
+        if not entries:
+            continue
+        lines.append(f"  {section}:")
+        width = max(len(k) for k in entries)
+        for k in sorted(entries):
+            v = entries[k]
+            value = f"{v:,}" if isinstance(v, int) else f"{v:,.6g}"
+            lines.append(f"    {k.ljust(width)}  {value}")
+    hists = snapshot.get("histograms") or {}
+    if hists:
+        lines.append("  histograms:")
+        width = max(len(k) for k in hists)
+        for k in sorted(hists):
+            h = hists[k]
+            lines.append(
+                f"    {k.ljust(width)}  n={h['count']} mean={h['mean']:.6g} "
+                f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+    return "\n".join(lines)
+
+
+def summarize_trace(records: list[dict[str, Any]]) -> str:
+    """Full report: phase breakdown, metrics, and per-mesh heatmaps."""
+    sections = [phase_breakdown(records)]
+    for r in records:
+        if r.get("type") == "metrics":
+            sections.append(render_metrics_snapshot(r.get("snapshot", {})))
+    for r in records:
+        if r.get("type") == "noc_profile":
+            sections.append(render_mesh_heatmap(NoCProfile.from_dict(r)))
+    return "\n\n".join(sections)

@@ -3,6 +3,16 @@
 Runs the requested paper experiments (default: all) and prints their tables.
 Trained models are cached under ``$REPRO_CACHE_DIR`` (default
 ``.repro_cache/``), so re-runs only pay for simulation.
+
+Observability flags:
+
+``--trace out.jsonl``
+    Enable span tracing *and* per-link NoC profiling for the run, then write
+    spans + a metrics snapshot + accumulated NoC profiles to ``out.jsonl``
+    (summarize with ``scripts/report_trace.py out.jsonl``).
+``--metrics``
+    Print the metrics-registry snapshot (drain-memo and artifact-cache hit
+    rates, NoC flit counters, training losses) after the experiments finish.
 """
 
 from __future__ import annotations
@@ -11,6 +21,7 @@ import argparse
 import sys
 import time
 
+from . import obs
 from .experiments import EXPERIMENTS, get_profile
 from .experiments.runner import run_one
 
@@ -34,6 +45,17 @@ def main(argv: list[str] | None = None) -> int:
         choices=("paper", "fast"),
         help="training effort profile (fast = smoke-test sizes)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace (spans + metrics + NoC link profiles) to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics snapshot after the experiments finish",
+    )
     args = parser.parse_args(argv)
     profile = get_profile(args.profile)
 
@@ -41,12 +63,26 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
 
-    for name in args.experiments:
-        start = time.time()
-        table = run_one(name, profile)
-        elapsed = time.time() - start
-        print(table)
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    if args.trace:
+        obs.enable_tracing()
+        obs.enable_noc_profiling()
+
+    try:
+        for name in args.experiments:
+            start = time.time()
+            table = run_one(name, profile)
+            elapsed = time.time() - start
+            print(table)
+            print(f"[{name} finished in {elapsed:.1f}s]\n")
+    finally:
+        if args.trace:
+            path = obs.export_trace(args.trace)
+            print(f"[trace written to {path}]")
+            obs.disable_tracing()
+            obs.disable_noc_profiling()
+
+    if args.metrics:
+        print(obs.METRICS.render())
     return 0
 
 

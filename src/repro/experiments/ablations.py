@@ -29,7 +29,6 @@ from ..noc.analytical import estimate_drain_cycles
 from ..noc.network import NoCSimulator
 from ..noc.packet import NoCConfig
 from ..noc.topology import Mesh2D
-from ..partition.distance import distance_strength_mask
 from ..partition.sparsified import build_sparsified_plan
 from ..partition.traditional import build_traditional_plan
 from ..sim.engine import InferenceSimulator

@@ -10,6 +10,12 @@ model it has already trained with identical settings.  Artifacts live under
 
 Keys embed a hash of the run's settings, so changing a profile invalidates
 stale entries automatically.
+
+Writes are **atomic**: artifacts are written to a temp file in the cache
+directory and moved into place with ``os.replace``, so an interrupted run can
+never leave a truncated entry that would silently fall back to recompute (or,
+worse, half-parse).  Loads report hit/miss counts to the global metrics
+registry (``cache.artifact.{hit,miss}`` labeled by artifact kind).
 """
 
 from __future__ import annotations
@@ -17,10 +23,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
+
+from ..obs import METRICS
 
 __all__ = [
     "cache_dir",
@@ -48,23 +57,49 @@ def settings_key(name: str, settings: dict[str, Any]) -> str:
     return f"{safe}-{digest}"
 
 
-def save_state(key: str, state: dict[str, np.ndarray]) -> Path:
-    """Persist a model state dict."""
-    path = cache_dir() / f"{key}.npz"
-    np.savez(path, **state)
+def _atomic_replace(path: Path, write: Callable[[Any], None], mode: str) -> Path:
+    """Write via ``write(fileobj)`` into a temp file, then rename over ``path``.
+
+    The temp file lives in the cache directory itself so ``os.replace`` stays
+    on one filesystem (rename is atomic there); any failure removes the temp
+    file and leaves a pre-existing entry untouched.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as f:
+            write(f)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def save_state(key: str, state: dict[str, np.ndarray]) -> Path:
+    """Persist a model state dict (atomically)."""
+    path = cache_dir() / f"{key}.npz"
+    return _atomic_replace(path, lambda f: np.savez(f, **state), "wb")
 
 
 def load_state(key: str) -> dict[str, np.ndarray] | None:
     """Load a cached state dict, or None when absent/corrupt."""
     path = cache_dir() / f"{key}.npz"
     if not path.exists():
+        METRICS.inc("cache.artifact.miss", kind="state")
         return None
     try:
         with np.load(path) as data:
-            return {name: data[name] for name in data.files}
+            state = {name: data[name] for name in data.files}
     except (OSError, ValueError, KeyError):
+        METRICS.inc("cache.artifact.miss", kind="state")
         return None
+    METRICS.inc("cache.artifact.hit", kind="state")
+    return state
 
 
 def load_json(key: str) -> dict | None:
@@ -75,21 +110,26 @@ def load_json(key: str) -> dict | None:
     """
     path = cache_dir() / f"{key}.json"
     if not path.exists():
+        METRICS.inc("cache.artifact.miss", kind="json")
         return None
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError):
+        data = None
+    if not isinstance(data, dict):
+        METRICS.inc("cache.artifact.miss", kind="json")
         return None
-    return data if isinstance(data, dict) else None
+    METRICS.inc("cache.artifact.hit", kind="json")
+    return data
 
 
 def save_json(key: str, data: dict) -> Path:
-    """Persist JSON-serializable plain data under ``key``."""
+    """Persist JSON-serializable plain data under ``key`` (atomically)."""
     path = cache_dir() / f"{key}.json"
-    with open(path, "w") as f:
-        json.dump(data, f, indent=2, default=float)
-    return path
+    return _atomic_replace(
+        path, lambda f: json.dump(data, f, indent=2, default=float), "w"
+    )
 
 
 def cached_json(key: str, compute: Callable[[], dict]) -> dict:

@@ -28,7 +28,7 @@ from ..sim.engine import InferenceSimulator, SimConfig
 from ..sim.results import SimulationResult
 from ..train.sparsify import SparsifyConfig, train_sparsified
 from ..train.trainer import Trainer
-from .cache import cached_json, load_state, save_state, settings_key
+from .cache import load_state, save_state, settings_key
 from .config import ExperimentProfile
 
 __all__ = [

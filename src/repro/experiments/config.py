@@ -7,7 +7,7 @@ for integration tests (minutes of CPU total across the whole suite).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..train.trainer import TrainConfig
 

@@ -1,7 +1,12 @@
-"""Run every paper experiment and render the report."""
+"""Run every paper experiment and render the report.
+
+Each experiment runs inside an ``experiment`` tracing span, so a trace of a
+full run breaks down into experiment → layer → drain phases.
+"""
 
 from __future__ import annotations
 
+from ..obs import span
 from .ablations import (
     render_agreement,
     render_mapping,
@@ -47,6 +52,11 @@ EXPERIMENTS = (
 
 def run_one(name: str, profile: ExperimentProfile = PAPER) -> str:
     """Run a single experiment by name and return its rendered table."""
+    with span("experiment", experiment=name, profile=profile.name):
+        return _run_one(name, profile)
+
+
+def _run_one(name: str, profile: ExperimentProfile) -> str:
     if name == "table1":
         return render_table1(run_table1())
     if name == "motivation":

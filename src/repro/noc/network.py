@@ -69,6 +69,8 @@ import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs.metrics import METRICS
+from ..obs.nocprof import NoCProfile
 from .packet import Flit, NoCConfig, Packet
 from .routing import xy_route_ports
 from .topology import LOCAL, OPPOSITE, Mesh2D
@@ -171,12 +173,50 @@ class _Router:
 _OPP = (-1, OPPOSITE[1], OPPOSITE[2], OPPOSITE[3], OPPOSITE[4])
 
 
+def _accumulate_profile(
+    profile: NoCProfile, mesh: Mesh2D, delivered: list[Packet], cycles: int
+) -> None:
+    """Fold one completed drain into a per-link profile.
+
+    Every flit of a delivered packet traversed every hop of the packet's XY
+    route, so per-router and per-link totals are reconstructed exactly from
+    the delivered set — no per-cycle counters in the simulator hot loops,
+    which is what keeps profiling-off behaviour bit-identical and free.
+    """
+    if (profile.width, profile.height) != (mesh.width, mesh.height):
+        raise ValueError(
+            f"profile is for a {profile.width}x{profile.height} mesh, "
+            f"simulator runs {mesh.width}x{mesh.height}"
+        )
+    link = profile.link_flits
+    router = profile.router_flits
+    for p in delivered:
+        route = p.route if p.route is not None else xy_route_ports(mesh, p.src, p.dst)
+        node = p.src
+        n = p.num_flits
+        for port in route:
+            router[node] += n
+            link[node, port] += n
+            if port != LOCAL:
+                node = mesh.neighbor(node, port)
+    profile.cycles += cycles
+    profile.runs += 1
+
+
 class NoCSimulator:
     """Event-driven cycle-level simulation of burst traffic on the mesh NoC."""
 
-    def __init__(self, mesh: Mesh2D, config: NoCConfig | None = None) -> None:
+    _ENGINE = "event"  # metrics label; the reference engine overrides it
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        config: NoCConfig | None = None,
+        profile: NoCProfile | None = None,
+    ) -> None:
         self.mesh = mesh
         self.config = config or NoCConfig()
+        self.profile = profile
         self.routers = [_Router(n, self.config) for n in range(mesh.num_nodes)]
         cfg = self.config
         self._rr_mod = _NUM_PORTS * cfg.num_vcs
@@ -259,6 +299,12 @@ class NoCSimulator:
         for p in packets:
             self.mesh._check(p.src)
             self.mesh._check(p.dst)
+        if packets:
+            METRICS.inc(
+                "noc.flits_injected",
+                sum(p.num_flits for p in packets),
+                engine=self._ENGINE,
+            )
         cache = self._route_cache
         for p in packets:
             route = cache.get((p.src, p.dst))
@@ -280,7 +326,7 @@ class NoCSimulator:
         """
         total_packets = len(self._pending_packets)
         if total_packets == 0:
-            return self._stats()
+            return self._finish_run()
 
         for cyc, _, p in self._pending_packets:
             self._wake_injector(p.src, cyc)
@@ -308,7 +354,19 @@ class NoCSimulator:
                     f"NoC exceeded {max_cycles} cycles; delivered "
                     f"{len(self._delivered)}/{total_packets} packets"
                 )
-        return self._stats()
+        return self._finish_run()
+
+    def _finish_run(self) -> NoCStats:
+        """Stats + optional profile accumulation + per-run metrics."""
+        stats = self._stats()
+        if self.profile is not None:
+            _accumulate_profile(self.profile, self.mesh, self._delivered, stats.cycles)
+        engine = self._ENGINE
+        METRICS.inc("noc.runs", 1, engine=engine)
+        METRICS.inc("noc.drain_cycles", stats.cycles, engine=engine)
+        METRICS.inc("noc.flits_delivered", stats.flits_delivered, engine=engine)
+        METRICS.inc("noc.flit_hops", stats.flit_hops, engine=engine)
+        return stats
 
     def _network_quiet(self) -> bool:
         """No flits buffered anywhere and no source FIFO occupied (O(1))."""

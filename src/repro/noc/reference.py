@@ -26,7 +26,16 @@ from __future__ import annotations
 import heapq
 from collections import deque
 
-from .network import NoCStats, _NUM_PORTS, _InputVC, _Router, EnergyEvents
+from ..obs.metrics import METRICS
+from ..obs.nocprof import NoCProfile
+from .network import (
+    EnergyEvents,
+    NoCStats,
+    _NUM_PORTS,
+    _InputVC,
+    _Router,
+    _accumulate_profile,
+)
 from .packet import Flit, NoCConfig, Packet
 from .routing import xy_route_port
 from .topology import LOCAL, OPPOSITE, Mesh2D
@@ -37,9 +46,17 @@ __all__ = ["ReferenceNoCSimulator"]
 class ReferenceNoCSimulator:
     """Cycle-level simulation of burst traffic on the mesh NoC (reference)."""
 
-    def __init__(self, mesh: Mesh2D, config: NoCConfig | None = None) -> None:
+    _ENGINE = "reference"  # metrics label
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        config: NoCConfig | None = None,
+        profile: NoCProfile | None = None,
+    ) -> None:
         self.mesh = mesh
         self.config = config or NoCConfig()
+        self.profile = profile
         self.routers = [_Router(n, self.config) for n in range(mesh.num_nodes)]
         # Min-heap of (injection_cycle, seq, packet); seq preserves FIFO
         # order among packets due on the same cycle.
@@ -68,6 +85,12 @@ class ReferenceNoCSimulator:
         for p in packets:
             self.mesh._check(p.src)
             self.mesh._check(p.dst)
+        if packets:
+            METRICS.inc(
+                "noc.flits_injected",
+                sum(p.num_flits for p in packets),
+                engine=self._ENGINE,
+            )
         for p in packets:
             heapq.heappush(
                 self._pending_packets, (p.injection_cycle, self._pending_seq, p)
@@ -83,7 +106,7 @@ class ReferenceNoCSimulator:
         """
         total_packets = len(self._pending_packets)
         if total_packets == 0:
-            return self._stats()
+            return self._finish_run()
 
         idle_cycles = 0
         while len(self._delivered) < total_packets:
@@ -113,7 +136,19 @@ class ReferenceNoCSimulator:
                     f"NoC exceeded {max_cycles} cycles; delivered "
                     f"{len(self._delivered)}/{total_packets} packets"
                 )
-        return self._stats()
+        return self._finish_run()
+
+    def _finish_run(self) -> NoCStats:
+        """Stats + optional profile accumulation + per-run metrics."""
+        stats = self._stats()
+        if self.profile is not None:
+            _accumulate_profile(self.profile, self.mesh, self._delivered, stats.cycles)
+        engine = self._ENGINE
+        METRICS.inc("noc.runs", 1, engine=engine)
+        METRICS.inc("noc.drain_cycles", stats.cycles, engine=engine)
+        METRICS.inc("noc.flits_delivered", stats.flits_delivered, engine=engine)
+        METRICS.inc("noc.flit_hops", stats.flit_hops, engine=engine)
+        return stats
 
     def _network_quiet(self) -> bool:
         """No flits buffered anywhere and no source FIFO occupied (O(1))."""

@@ -134,7 +134,6 @@ def uniform_random_traffic(
 
 def transpose_traffic(mesh: Mesh2D, bytes_per_pair: int) -> TrafficMatrix:
     """Transpose pattern: node (x, y) sends to (y, x); a classic stress test."""
-    side = mesh.width
     if mesh.width != mesh.height:
         raise ValueError("transpose pattern needs a square mesh")
     m = np.zeros((mesh.num_nodes, mesh.num_nodes), dtype=np.int64)

@@ -1,0 +1,67 @@
+"""``repro.obs`` — zero-dependency observability: tracing, metrics, NoC profiling.
+
+Three cooperating pieces, all pure Python + numpy:
+
+* :mod:`repro.obs.trace` — nestable :func:`span` context managers with a
+  thread-safe collector and JSONL export (off by default, no-op when off);
+* :mod:`repro.obs.metrics` — the always-on :data:`METRICS` registry of named
+  counters/gauges/histograms with labeled dimensions;
+* :mod:`repro.obs.nocprof` — per-link/per-router NoC flit profiling,
+  accumulated post-drain so simulator hot loops stay untouched.
+
+:func:`export_trace` bundles all three into one JSONL file: span records,
+then a ``{"type": "metrics"}`` snapshot, then one ``{"type": "noc_profile"}``
+record per mesh shape — the format ``scripts/report_trace.py`` summarizes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from . import nocprof
+from .metrics import METRICS, MetricsRegistry
+from .nocprof import (
+    NoCProfile,
+    disable_noc_profiling,
+    enable_noc_profiling,
+    noc_profiling_enabled,
+)
+from .trace import (
+    Span,
+    TraceCollector,
+    disable_tracing,
+    enable_tracing,
+    get_collector,
+    read_jsonl,
+    span,
+    tracing_enabled,
+    write_jsonl,
+)
+
+__all__ = [
+    "span",
+    "Span",
+    "TraceCollector",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_collector",
+    "read_jsonl",
+    "write_jsonl",
+    "METRICS",
+    "MetricsRegistry",
+    "NoCProfile",
+    "enable_noc_profiling",
+    "disable_noc_profiling",
+    "noc_profiling_enabled",
+    "export_trace",
+]
+
+
+def export_trace(path: str | Path) -> Path:
+    """Write collected spans + metrics snapshot + NoC profiles as JSONL."""
+    records = get_collector().records()
+    records.append({"type": "metrics", "snapshot": METRICS.snapshot()})
+    for profile in nocprof.global_profiles():
+        records.append({"type": "noc_profile", **profile.to_dict()})
+    return write_jsonl(records, path)

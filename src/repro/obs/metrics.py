@@ -1,0 +1,132 @@
+"""Named counters, gauges, and histograms with labeled dimensions.
+
+The registry is the always-on half of the observability layer: unlike spans
+(per-event, off by default), metrics are aggregated in place and only touched
+at coarse boundaries — once per NoC drain, per training epoch, per cache
+lookup — so the bookkeeping cost is negligible next to the work it measures.
+
+* **Counters** only go up (``inc``): ``noc.flits_injected``,
+  ``cache.drain_memo.hit`` / ``.miss``, ``sim.drain_cycles``.
+* **Gauges** hold the last value set (``set_gauge``): ``train.last_loss``.
+* **Histograms** keep count/total/min/max of observed values (``observe``):
+  ``train.epoch_loss``.
+
+Labels add dimensions: ``inc("noc.runs", engine="event")`` and
+``inc("noc.runs", engine="reference")`` are independent series.  A metric key
+renders as ``name{k=v,...}`` with labels sorted, so snapshots are
+deterministic for deterministic workloads (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["MetricsRegistry", "METRICS"]
+
+
+def _key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, list[float]] = {}  # [count, total, min, max]
+
+    # -- writers -------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to a counter (creates it at 0 first).
+
+        ``inc(name, 0)`` registers the series without counting anything —
+        used so rates like hit/miss always appear in snapshots, even when one
+        side never fired.
+        """
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to its latest value."""
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation into a histogram series."""
+        key = _key(name, labels)
+        with self._lock:
+            h = self._hists.get(key)
+            if h is None:
+                self._hists[key] = [1, value, value, value]
+            else:
+                h[0] += 1
+                h[1] += value
+                h[2] = min(h[2], value)
+                h[3] = max(h[3], value)
+
+    # -- readers -------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view of every series, with sorted, stable keys."""
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: {
+                        "count": h[0],
+                        "total": h[1],
+                        "mean": h[1] / h[0],
+                        "min": h[2],
+                        "max": h[3],
+                    }
+                    for k, h in sorted(self._hists.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every series (tests and fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    def render(self) -> str:
+        """Aligned text dump of the current snapshot."""
+        snap = self.snapshot()
+        lines = ["metrics snapshot"]
+        for section in ("counters", "gauges"):
+            entries = snap[section]
+            if not entries:
+                continue
+            lines.append(f"  {section}:")
+            width = max(len(k) for k in entries)
+            for k, v in entries.items():
+                value = f"{v:,}" if isinstance(v, int) else f"{v:,.6g}"
+                lines.append(f"    {k.ljust(width)}  {value}")
+        if snap["histograms"]:
+            lines.append("  histograms:")
+            width = max(len(k) for k in snap["histograms"])
+            for k, h in snap["histograms"].items():
+                lines.append(
+                    f"    {k.ljust(width)}  n={h['count']} mean={h['mean']:.6g} "
+                    f"min={h['min']:.6g} max={h['max']:.6g}"
+                )
+        return "\n".join(lines)
+
+
+#: Process-global registry all instrumented subsystems report into.
+METRICS = MetricsRegistry()

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..models.spec import LayerSpec, NetworkSpec
+from ..models.spec import LayerSpec
 from ..noc.traffic import TrafficMatrix
 from ..nn.sparsity import split_boundaries
 from .plan import feature_bounds_from_channels

@@ -21,7 +21,6 @@ whose traffic is permutation-invariant.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import numpy as np
 

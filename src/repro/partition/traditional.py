@@ -21,7 +21,6 @@ import numpy as np
 from ..accel.core import CoreWorkload
 from ..models.spec import LayerSpec, NetworkSpec
 from .layout import (
-    ProducerLayout,
     default_out_bounds,
     producer_layout_for,
     traffic_from_needs,

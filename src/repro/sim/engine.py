@@ -32,6 +32,21 @@ exact traffic matrix, every :class:`~repro.noc.packet.NoCConfig` field, and
 the mesh shape, so any change to the network or the traffic invalidates the
 entry.  Corrupt or truncated entries fall back to fresh simulation, exactly
 like ``load_state``.  Disable with ``SimConfig(comm_cache=False)``.
+
+The returned :class:`~repro.sim.results.SimulationResult` reports how many
+drains were served from the memo vs simulated (``drain_memo_hits`` /
+``drain_memo_misses``), and the same counts feed the global metrics registry
+as ``cache.drain_memo.hit`` / ``.miss``.
+
+Observability
+-------------
+With tracing enabled (:func:`repro.obs.enable_tracing`), every simulated plan
+emits nested ``sim.simulate`` → ``simulate.layer`` → ``sim.drain`` spans with
+cycle attribution.  With NoC profiling enabled
+(:func:`repro.obs.enable_noc_profiling`), cycle-level drains accumulate
+per-link flit counts into the process-global per-mesh profile; profiled
+drains bypass memo *reads* (a memo entry has no per-link data) but still
+write entries, so the numbers are identical to an unprofiled run.
 """
 
 from __future__ import annotations
@@ -43,6 +58,7 @@ import numpy as np
 
 from ..accel.chip import ChipConfig
 from ..noc.analytical import estimate_drain_cycles
+from ..obs import METRICS, nocprof, span
 from ..noc.energy import EnergyBreakdown
 from ..noc.network import EnergyEvents, NoCSimulator, NoCStats
 from ..noc.packet import NoCConfig
@@ -129,6 +145,9 @@ class InferenceSimulator:
         self.chip = chip
         self.config = config or SimConfig()
         self._core_model = chip.core_model()
+        # Per-simulate() drain-memo accounting, surfaced on SimulationResult.
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # -- public API ------------------------------------------------------------------
 
@@ -137,15 +156,32 @@ class InferenceSimulator:
             raise ValueError(
                 f"plan is for {plan.num_cores} cores, chip has {self.chip.num_cores}"
             )
+        self._memo_hits = 0
+        self._memo_misses = 0
+        if self.config.comm_cache:
+            # Register both sides of the hit rate so snapshots always show it.
+            METRICS.inc("cache.drain_memo.hit", 0)
+            METRICS.inc("cache.drain_memo.miss", 0)
         result = SimulationResult(
             model_name=plan.name, scheme=plan.scheme, num_cores=plan.num_cores
         )
-        if self.config.include_input_load and plan.layers:
-            cycles, energy = self._input_load(plan.layers[0])
-            result.input_load_cycles = cycles
-            result.input_load_energy_j = energy
-        for layer_plan in plan.layers:
-            result.layers.append(self._simulate_layer(layer_plan))
+        with span(
+            "sim.simulate", model=plan.name, scheme=plan.scheme, cores=plan.num_cores
+        ) as sp:
+            if self.config.include_input_load and plan.layers:
+                cycles, energy = self._input_load(plan.layers[0])
+                result.input_load_cycles = cycles
+                result.input_load_energy_j = energy
+            for layer_plan in plan.layers:
+                result.layers.append(self._simulate_layer(layer_plan))
+            result.drain_memo_hits = self._memo_hits
+            result.drain_memo_misses = self._memo_misses
+            sp.set(
+                total_cycles=result.total_cycles,
+                comm_cycles=result.comm_cycles,
+                drain_memo_hits=result.drain_memo_hits,
+                drain_memo_misses=result.drain_memo_misses,
+            )
         return result
 
     def _input_load(self, first_layer: LayerPlan) -> tuple[int, float]:
@@ -172,6 +208,17 @@ class InferenceSimulator:
     # -- per-layer ---------------------------------------------------------------------
 
     def _simulate_layer(self, lp: LayerPlan) -> LayerTimeline:
+        with span("simulate.layer", layer=lp.layer.name) as sp:
+            timeline = self._layer_timeline(lp)
+            sp.set(
+                compute_cycles=timeline.compute_cycles,
+                comm_cycles=timeline.comm_cycles,
+                traffic_bytes=timeline.traffic_bytes,
+                mode=timeline.comm_mode,
+            )
+        return timeline
+
+    def _layer_timeline(self, lp: LayerPlan) -> LayerTimeline:
         chip = self.chip
         compute_cycles = max(
             (self._core_model.compute_cycles(w) for w in lp.workloads()), default=0
@@ -247,27 +294,49 @@ class InferenceSimulator:
 
     def _cycle_sim(self, traffic: TrafficMatrix) -> tuple[int, int, EnergyBreakdown]:
         chip = self.chip
+        # A profiled drain needs the cycle-level run for its per-link counts,
+        # so memo reads are bypassed (entries are still written; the returned
+        # numbers are identical either way).
+        profiling = nocprof.noc_profiling_enabled()
         key = None
         if self.config.comm_cache:
             key = drain_memo_key(chip.mesh, chip.noc, traffic)
-            memo = _load_drain_memo(key)
-            if memo is not None:
-                cycles, flit_hops, events = memo
-                stats = NoCStats(
-                    cycles=cycles,
-                    packets_delivered=0,
-                    flits_delivered=0,
-                    flit_hops=flit_hops,
-                    avg_packet_latency=0.0,
-                    max_packet_latency=0,
-                    energy=events,
-                )
-                energy = chip.noc_energy.simulation_energy(stats, chip.mesh.num_nodes)
-                return cycles, flit_hops, energy
+            if not profiling:
+                memo = _load_drain_memo(key)
+                if memo is not None:
+                    cycles, flit_hops, events = memo
+                    stats = NoCStats(
+                        cycles=cycles,
+                        packets_delivered=0,
+                        flits_delivered=0,
+                        flit_hops=flit_hops,
+                        avg_packet_latency=0.0,
+                        max_packet_latency=0,
+                        energy=events,
+                    )
+                    energy = chip.noc_energy.simulation_energy(
+                        stats, chip.mesh.num_nodes
+                    )
+                    self._memo_hits += 1
+                    METRICS.inc("cache.drain_memo.hit")
+                    METRICS.inc("sim.drain_cycles", cycles)
+                    with span("sim.drain", cached=True) as sp:
+                        sp.set(cycles=cycles, flit_hops=flit_hops)
+                    return cycles, flit_hops, energy
+            self._memo_misses += 1
+            METRICS.inc("cache.drain_memo.miss")
 
-        sim = NoCSimulator(chip.mesh, chip.noc)
-        sim.inject(traffic.to_packets(chip.noc))
-        stats = sim.run()
+        profile = (
+            nocprof.global_profile(chip.mesh.width, chip.mesh.height)
+            if profiling
+            else None
+        )
+        with span("sim.drain", cached=False) as sp:
+            sim = NoCSimulator(chip.mesh, chip.noc, profile=profile)
+            sim.inject(traffic.to_packets(chip.noc))
+            stats = sim.run()
+            sp.set(cycles=stats.cycles, flit_hops=stats.flit_hops)
+        METRICS.inc("sim.drain_cycles", stats.cycles)
         energy = chip.noc_energy.simulation_energy(stats, chip.mesh.num_nodes)
         if key is not None:
             _cache().save_json(

@@ -48,6 +48,12 @@ class SimulationResult:
     # distributing it to every core before the first layer starts.
     input_load_cycles: int = 0
     input_load_energy_j: float = 0.0
+    # Drain-time memo accounting: cycle-level drains served from the
+    # persistent memo vs actually simulated.  Both stay 0 when the memo is
+    # disabled (SimConfig(comm_cache=False)) or no drain needed cycle
+    # simulation.
+    drain_memo_hits: int = 0
+    drain_memo_misses: int = 0
 
     # -- timing -----------------------------------------------------------------
 
@@ -71,6 +77,12 @@ class SimulationResult:
 
     def latency_ms(self, clock_ghz: float = 1.0) -> float:
         return self.total_cycles / (clock_ghz * 1e6)
+
+    @property
+    def drain_memo_hit_rate(self) -> float:
+        """Fraction of memo lookups served from the cache (0 when none)."""
+        lookups = self.drain_memo_hits + self.drain_memo_misses
+        return self.drain_memo_hits / lookups if lookups else 0.0
 
     # -- traffic ------------------------------------------------------------------
 

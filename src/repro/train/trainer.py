@@ -9,6 +9,10 @@ cross-entropy, with two extension points the sparsification recipes use:
   reach *exact* zeros;
 * a ``post_step`` hook invoked after every update, used to keep pruned
   blocks at zero during fine-tuning.
+
+Each epoch runs inside a ``train.epoch`` span (loss, reg-loss, accuracy, and
+— when tracing is on — weight sparsity as attributes) and reports
+``train.epoch_loss`` into the global metrics registry.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from ..nn.loss import SoftmaxCrossEntropy
 from ..nn.network import Sequential
 from ..nn.optim import SGD
 from ..nn.regularizers import Regularizer
+from ..obs import METRICS, span, tracing_enabled
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer"]
 
@@ -82,6 +87,19 @@ class Trainer:
         self.post_step = post_step
         self.loss_fn = SoftmaxCrossEntropy()
 
+    def _weight_sparsity(self) -> float:
+        """Fraction of exactly-zero parameter values (traced per epoch).
+
+        Only computed when tracing is enabled — it scans every parameter,
+        which is not free at per-epoch granularity.
+        """
+        total = 0
+        zeros = 0
+        for p in self.model.parameters():
+            total += p.data.size
+            zeros += p.data.size - np.count_nonzero(p.data)
+        return zeros / total if total else 0.0
+
     def _clip_gradients(self, max_norm: float) -> None:
         """Scale all gradients so their global L2 norm is at most ``max_norm``."""
         total = 0.0
@@ -117,38 +135,45 @@ class Trainer:
 
         self.model.train()
         for epoch in range(cfg.epochs):
-            epoch_loss = 0.0
-            for xb, yb in loader:
-                logits = self.model.forward(xb)
-                loss = self.loss_fn(logits, yb)
-                self.model.zero_grad()
-                self.model.backward(self.loss_fn.backward())
-                if self.regularizer is not None and prox is None:
-                    self.regularizer.add_gradients(self.model)
-                if cfg.max_grad_norm:
-                    self._clip_gradients(cfg.max_grad_norm)
-                optimizer.step()
-                if prox is not None:
-                    prox(self.model, optimizer.lr)
-                if self.post_step is not None:
-                    self.post_step(self.model)
-                epoch_loss += loss
-            optimizer.lr *= cfg.lr_decay
+            with span("train.epoch", model=self.model.name, epoch=epoch) as sp:
+                epoch_loss = 0.0
+                for xb, yb in loader:
+                    logits = self.model.forward(xb)
+                    loss = self.loss_fn(logits, yb)
+                    self.model.zero_grad()
+                    self.model.backward(self.loss_fn.backward())
+                    if self.regularizer is not None and prox is None:
+                        self.regularizer.add_gradients(self.model)
+                    if cfg.max_grad_norm:
+                        self._clip_gradients(cfg.max_grad_norm)
+                    optimizer.step()
+                    if prox is not None:
+                        prox(self.model, optimizer.lr)
+                    if self.post_step is not None:
+                        self.post_step(self.model)
+                    epoch_loss += loss
+                optimizer.lr *= cfg.lr_decay
 
-            history.loss.append(epoch_loss / max(1, len(loader)))
-            history.reg_loss.append(
-                self.regularizer.loss(self.model) if self.regularizer else 0.0
-            )
-            if (epoch + 1) % eval_every == 0 or epoch == cfg.epochs - 1:
-                train_acc = self.model.accuracy(dataset.x_train, dataset.y_train)
-                test_acc = self.model.accuracy(dataset.x_test, dataset.y_test)
-                history.train_accuracy.append(train_acc)
-                history.test_accuracy.append(test_acc)
-                if verbose:  # pragma: no cover - console output
-                    print(
-                        f"epoch {epoch + 1}/{cfg.epochs}: loss={history.loss[-1]:.4f} "
-                        f"train={train_acc:.4f} test={test_acc:.4f}"
-                    )
-            self.model.train()
+                history.loss.append(epoch_loss / max(1, len(loader)))
+                history.reg_loss.append(
+                    self.regularizer.loss(self.model) if self.regularizer else 0.0
+                )
+                METRICS.observe("train.epoch_loss", history.loss[-1], model=self.model.name)
+                METRICS.set_gauge("train.last_loss", history.loss[-1], model=self.model.name)
+                sp.set(loss=history.loss[-1], reg_loss=history.reg_loss[-1])
+                if tracing_enabled():
+                    sp.set(sparsity=self._weight_sparsity())
+                if (epoch + 1) % eval_every == 0 or epoch == cfg.epochs - 1:
+                    train_acc = self.model.accuracy(dataset.x_train, dataset.y_train)
+                    test_acc = self.model.accuracy(dataset.x_test, dataset.y_test)
+                    history.train_accuracy.append(train_acc)
+                    history.test_accuracy.append(test_acc)
+                    sp.set(train_accuracy=train_acc, test_accuracy=test_acc)
+                    if verbose:  # pragma: no cover - console output
+                        print(
+                            f"epoch {epoch + 1}/{cfg.epochs}: loss={history.loss[-1]:.4f} "
+                            f"train={train_acc:.4f} test={test_acc:.4f}"
+                        )
+                self.model.train()
         self.model.eval()
         return history

@@ -1,0 +1,70 @@
+"""ASCII mesh heatmap rendering."""
+
+from __future__ import annotations
+
+from repro.analysis import render_mesh_heatmap
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+from repro.obs import NoCProfile
+
+
+def east_stream_profile() -> NoCProfile:
+    """Node 5 streaming 4,200 flits one hop east to node 6 on a 4x4 mesh."""
+    p = NoCProfile(4, 4)
+    p.link_flits[5, EAST] = 4200
+    p.link_flits[6, LOCAL] = 4200
+    p.router_flits[5] = 4200
+    p.router_flits[6] = 4200
+    p.cycles = 2549
+    p.runs = 1
+    return p
+
+
+class TestHeatmap:
+    def test_header_totals(self):
+        text = render_mesh_heatmap(east_stream_profile())
+        assert "4x4 mesh" in text
+        assert "1 run(s)" in text
+        assert "2,549 cycles" in text
+        assert "4,200 flit-hops" in text
+
+    def test_grid_shades_and_link_label(self):
+        text = render_mesh_heatmap(east_stream_profile())
+        lines = text.splitlines()
+        # Row y=1 (line 3: header, row 0, vertical links, row 1) holds the
+        # busy pair; busiest routers render dark, idle routers stay blank.
+        assert "[@]" in lines[3]
+        assert "4.2k" in lines[3]
+        assert lines[1].replace("-", "").replace("[ ]", "") == ""
+
+    def test_busiest_links_and_ejections(self):
+        text = render_mesh_heatmap(east_stream_profile())
+        assert "busiest links (top 1):" in text
+        assert "(1,1)  east: 4,200 flits" in text
+        assert "ejected flits: 4,200" in text
+
+    def test_vertical_links_render_between_rows(self):
+        p = NoCProfile(2, 2)
+        # 0 -> 2 is one hop south; 2 -> 0 one hop north: both directions sum.
+        p.link_flits[0, SOUTH] = 600
+        p.link_flits[2, NORTH] = 400
+        p.link_flits[2, LOCAL] = 600
+        p.link_flits[0, LOCAL] = 400
+        p.router_flits[[0, 2]] = 1000
+        p.cycles = 100
+        text = render_mesh_heatmap(p)
+        assert "1.0k" in text  # 600 + 400 on the shared vertical link pair
+
+    def test_empty_profile_renders(self):
+        text = render_mesh_heatmap(NoCProfile(3, 3))
+        assert "3x3 mesh" in text
+        assert "busiest" not in text
+        assert "ejected flits: 0" in text
+
+    def test_top_links_truncates(self):
+        p = NoCProfile(4, 4)
+        for n in range(8):
+            p.link_flits[n, WEST if n % 2 else EAST] = 100 + n
+        p.cycles = 10
+        text = render_mesh_heatmap(p, top_links=3)
+        assert "busiest links (top 3):" in text
+        assert text.count("flits/cycle") == 3

@@ -1,0 +1,86 @@
+"""Trace summaries: per-phase breakdown, metrics rendering, full report."""
+
+from __future__ import annotations
+
+from repro.analysis import phase_breakdown, render_metrics_snapshot, summarize_trace
+from repro.obs import NoCProfile
+
+
+def span(name, sid, parent, dur, **attrs):
+    return {
+        "type": "span",
+        "name": name,
+        "id": sid,
+        "parent": parent,
+        "thread": "MainThread",
+        "t_wall": 0.0,
+        "dur_s": dur,
+        "attrs": attrs,
+    }
+
+
+class TestPhaseBreakdown:
+    def test_self_time_excludes_children(self):
+        records = [
+            span("sim.drain", 2, 1, 0.4),
+            span("simulate.layer", 1, 0, 0.6),
+            span("experiment", 0, None, 1.0),
+        ]
+        text = phase_breakdown(records)
+        lines = {line.split()[0]: line for line in text.splitlines() if "." in line}
+        # experiment: 1.0 total, 0.4 self; layer: 0.6 total, 0.2 self;
+        # drain: 0.4 total and self — the biggest self time tops the table.
+        assert "0.400" in lines["sim.drain"]
+        assert "0.200" in lines["simulate.layer"]
+        assert lines["experiment"].split()[1:4] == ["1", "1.000", "0.400"]
+        assert "3 spans" in text and "1.000s traced" in text
+
+    def test_aggregates_repeated_phases(self):
+        records = [
+            span("sim.drain", 1, 0, 0.25),
+            span("sim.drain", 2, 0, 0.35),
+            span("experiment", 0, None, 0.8),
+        ]
+        text = phase_breakdown(records)
+        (drain_row,) = [l for l in text.splitlines() if l.strip().startswith("sim.drain")]
+        assert drain_row.split()[1:4] == ["2", "0.600", "0.600"]
+
+    def test_no_spans_message(self):
+        assert "no spans" in phase_breakdown([{"type": "metrics"}])
+
+
+class TestMetricsRendering:
+    def test_sections_and_values(self):
+        snapshot = {
+            "counters": {"cache.drain_memo.hit": 12, "noc.runs{engine=event}": 3},
+            "gauges": {"train.last_loss": 0.25},
+            "histograms": {
+                "train.epoch_loss": {
+                    "count": 2, "total": 1.0, "mean": 0.5, "min": 0.4, "max": 0.6,
+                }
+            },
+        }
+        text = render_metrics_snapshot(snapshot)
+        assert "cache.drain_memo.hit" in text and "12" in text
+        assert "train.last_loss" in text and "0.25" in text
+        assert "n=2 mean=0.5" in text
+
+    def test_empty_snapshot(self):
+        assert render_metrics_snapshot({}) == "metrics snapshot:"
+
+
+class TestSummarizeTrace:
+    def test_combines_all_sections(self):
+        profile = NoCProfile(2, 2)
+        profile.link_flits[0, 1] = 10
+        profile.router_flits[0] = 10
+        profile.cycles = 5
+        records = [
+            span("experiment", 0, None, 1.0),
+            {"type": "metrics", "snapshot": {"counters": {"sim.drain_cycles": 7}}},
+            {"type": "noc_profile", **profile.to_dict()},
+        ]
+        text = summarize_trace(records)
+        assert "per-phase time breakdown" in text
+        assert "sim.drain_cycles" in text
+        assert "2x2 mesh" in text

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.experiments.table1 import (
-    PAPER_TABLE1_BYTES,
-    Table1Row,
-    render_table1,
-    run_table1,
-)
+from repro.experiments.table1 import render_table1, run_table1
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for architecture specs and the spec builder."""
 
-import numpy as np
 import pytest
 
 from repro.models import NetworkSpec, SpecBuilder, build_lenet, build_table3_convnet

@@ -159,7 +159,6 @@ class TestCustomBoundaries:
             (10, 8), "dense", 2,
             producer_bounds=[(0, 4), (4, 10)],
         )
-        w = rng.normal(size=(10, 8))
         assert part.block_slices(1, 0) == (slice(4, 10), slice(0, 4))
 
     def test_bounds_must_tile(self):

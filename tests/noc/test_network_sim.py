@@ -60,7 +60,8 @@ class TestSinglePacket:
         second physical channel pays off once several packets (on different
         VCs) compete for the same link."""
         mesh = Mesh2D(2, 1)
-        packets = lambda: [Packet(src=0, dst=1, num_flits=20) for _ in range(3)]
+        def packets():
+            return [Packet(src=0, dst=1, num_flits=20) for _ in range(3)]
         slow = run_sim(mesh, packets(), NoCConfig(physical_channels=1))
         fast = run_sim(mesh, packets(), NoCConfig(physical_channels=2))
         assert fast.cycles < slow.cycles

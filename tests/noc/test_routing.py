@@ -1,6 +1,5 @@
 """Tests for dimension-ordered routing."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,20 @@
+"""Observability tests share process-global state; restore it around each test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable_tracing()
+    obs.get_collector().clear()
+    obs.nocprof.disable_noc_profiling()
+    obs.nocprof.clear_profiles()
+    yield
+    obs.disable_tracing()
+    obs.get_collector().clear()
+    obs.nocprof.disable_noc_profiling()
+    obs.nocprof.clear_profiles()

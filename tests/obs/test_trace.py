@@ -1,0 +1,156 @@
+"""Tracing spans: nesting, attributes, JSONL round-trips, and the off path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP
+
+
+class TestDisabled:
+    def test_off_by_default_returns_shared_noop(self):
+        assert not obs.tracing_enabled()
+        sp = obs.span("anything", layer=3)
+        assert sp is _NOOP
+        assert obs.span("other") is sp
+
+    def test_noop_span_is_inert(self):
+        with obs.span("quiet") as sp:
+            sp.set(result=42)
+        assert obs.get_collector().records() == []
+
+    def test_disable_stops_collection(self):
+        obs.enable_tracing()
+        with obs.span("kept"):
+            pass
+        obs.disable_tracing()
+        with obs.span("dropped"):
+            pass
+        names = [r["name"] for r in obs.get_collector().records()]
+        assert names == ["kept"]
+
+
+class TestNesting:
+    def test_child_points_at_parent(self):
+        obs.enable_tracing()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        obs.enable_tracing()
+        with obs.span("outer") as outer:
+            with obs.span("a") as a:
+                pass
+            with obs.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_children_recorded_before_parents(self):
+        obs.enable_tracing()
+        with obs.span("experiment"):
+            with obs.span("layer"):
+                with obs.span("drain"):
+                    pass
+        names = [r["name"] for r in obs.get_collector().records()]
+        assert names == ["drain", "layer", "experiment"]
+
+    def test_durations_nest(self):
+        obs.enable_tracing()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert 0 <= inner.dur_s <= outer.dur_s
+
+
+class TestAttributes:
+    def test_attrs_from_open_and_set(self):
+        obs.enable_tracing()
+        with obs.span("work", layer="conv1") as sp:
+            sp.set(cycles=99, mode="cycle")
+        (record,) = obs.get_collector().records()
+        assert record["attrs"] == {"layer": "conv1", "cycles": 99, "mode": "cycle"}
+
+    def test_exception_annotates_and_propagates(self):
+        obs.enable_tracing()
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("nope")
+        (record,) = obs.get_collector().records()
+        assert record["attrs"]["error"] == "ValueError"
+
+
+class TestCollector:
+    def test_enable_with_custom_collector(self):
+        mine = obs.TraceCollector()
+        assert obs.enable_tracing(mine) is mine
+        with obs.span("here"):
+            pass
+        assert [r["name"] for r in mine.records()] == ["here"]
+        assert obs.get_collector() is mine
+
+    def test_clear(self):
+        obs.enable_tracing()
+        with obs.span("gone"):
+            pass
+        obs.get_collector().clear()
+        assert obs.get_collector().records() == []
+
+    def test_threads_get_independent_stacks(self):
+        obs.enable_tracing()
+        done = threading.Event()
+
+        def worker():
+            with obs.span("worker.span"):
+                pass
+            done.set()
+
+        with obs.span("main.span"):
+            t = threading.Thread(target=worker, name="obs-worker")
+            t.start()
+            t.join()
+        assert done.is_set()
+        by_name = {r["name"]: r for r in obs.get_collector().records()}
+        # The worker's span is a root on its own thread, not a child of main.
+        assert by_name["worker.span"]["parent"] is None
+        assert by_name["worker.span"]["thread"] == "obs-worker"
+        assert by_name["main.span"]["parent"] is None
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        obs.enable_tracing()
+        with obs.span("outer", model="lenet"):
+            with obs.span("inner") as sp:
+                sp.set(cycles=7)
+        path = obs.get_collector().export_jsonl(tmp_path / "trace.jsonl")
+        assert obs.read_jsonl(path) == obs.get_collector().records()
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "name": "a"}\n\n{"type": "metrics"}\n')
+        records = obs.read_jsonl(path)
+        assert [r["type"] for r in records] == ["span", "metrics"]
+
+    def test_export_trace_bundles_metrics_and_profiles(self, tmp_path):
+        obs.enable_tracing()
+        obs.enable_noc_profiling()
+        with obs.span("run"):
+            pass
+        obs.METRICS.reset()
+        obs.METRICS.inc("probe.counter", 3)
+        profile = obs.nocprof.global_profile(4, 4)
+        profile.cycles = 10
+        profile.runs = 1
+        records = obs.read_jsonl(obs.export_trace(tmp_path / "bundle.jsonl"))
+        types = [r["type"] for r in records]
+        assert types == ["span", "metrics", "noc_profile"]
+        assert records[1]["snapshot"]["counters"]["probe.counter"] == 3
+        assert records[2]["mesh"] == [4, 4]

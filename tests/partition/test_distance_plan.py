@@ -101,7 +101,7 @@ class TestModelParallelPlan:
         assert np.isinf(plan.traffic_rate_vs(zero))
 
     def test_core_count_mismatch_rejected(self):
-        from repro.partition import LayerPlan, ModelParallelPlan
+        from repro.partition import ModelParallelPlan
 
         plan16 = build_traditional_plan(mlp_spec(), 16)
         with pytest.raises(ValueError):

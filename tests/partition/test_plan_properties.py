@@ -11,7 +11,6 @@ from repro.partition import build_traditional_plan
 @st.composite
 def random_spec(draw):
     """A random small conv/dense network with chainable geometry."""
-    channels = draw(st.sampled_from([4, 8, 16]))
     convs = draw(st.integers(1, 3))
     b = SpecBuilder("rand", (3, 16, 16))
     for i in range(convs):

@@ -14,7 +14,6 @@ import numpy as np
 import pytest
 
 import repro.sim.engine as engine_mod
-from repro.accel import ChipConfig
 from repro.experiments import cache
 from repro.models import get_spec
 from repro.noc import Mesh2D, NoCConfig, TrafficMatrix, uniform_random_traffic
@@ -70,6 +69,30 @@ class TestWarmRuns:
     def test_disabled_cache_writes_nothing(self, cache_dir, chip16, plan):
         InferenceSimulator(chip16, SimConfig(comm_cache=False)).simulate(plan)
         assert not list(cache_dir.glob("noc-drain-*.json"))
+
+
+class TestMemoCounters:
+    """SimulationResult surfaces how many drains came from the memo."""
+
+    def test_cold_run_is_all_misses(self, cache_dir, chip16, plan):
+        cold = InferenceSimulator(chip16, SimConfig()).simulate(plan)
+        assert cold.drain_memo_hits == 0
+        assert cold.drain_memo_misses > 0
+        assert cold.drain_memo_hit_rate == 0.0
+
+    def test_warm_run_is_all_hits(self, cache_dir, chip16, plan):
+        sim = InferenceSimulator(chip16, SimConfig())
+        cold = sim.simulate(plan)
+        warm = sim.simulate(plan)
+        assert warm.drain_memo_misses == 0
+        assert warm.drain_memo_hits == cold.drain_memo_misses
+        assert warm.drain_memo_hit_rate == 1.0
+
+    def test_disabled_cache_counts_nothing(self, cache_dir, chip16, plan):
+        result = InferenceSimulator(chip16, SimConfig(comm_cache=False)).simulate(plan)
+        assert result.drain_memo_hits == 0
+        assert result.drain_memo_misses == 0
+        assert result.drain_memo_hit_rate == 0.0
 
 
 class TestKeying:

@@ -26,7 +26,6 @@ def pipeline():
         "integration", (1, 16, 16), num_classes=6, train_size=400, test_size=150,
         noise=1.5, max_shift=1, seed=21, flat=True,
     )
-    rng = np.random.default_rng(5)
     def build():
         r = np.random.default_rng(5)
         return Sequential(

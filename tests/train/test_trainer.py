@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.models import build_mlp
 from repro.nn import Dense, L2Regularizer, ReLU, Sequential
 from repro.train import TrainConfig, Trainer
 
@@ -73,7 +72,8 @@ class TestTrainer:
             reg, TrainConfig(epochs=4, weight_decay=0.0),
             regularizer=L2Regularizer(0.01), use_prox=False,
         ).fit(tiny_flat_dataset)
-        norm = lambda m: sum(np.sum(p.data ** 2) for p in m.parameters())
+        def norm(m):
+            return sum(np.sum(p.data ** 2) for p in m.parameters())
         assert norm(reg) < norm(plain)
 
     def test_post_step_hook_runs(self, tiny_flat_dataset):
