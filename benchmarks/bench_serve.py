@@ -1,0 +1,65 @@
+"""Serving-layer benchmarks — the Table S1 QoS sweep plus a timed
+event-loop body, validating the paper's latency-vs-throughput crossover
+under queueing load."""
+
+import pytest
+
+from repro.experiments.tableS1 import render_tableS1, run_tableS1
+from repro.serve import (
+    FIFOScheduler,
+    PoissonWorkload,
+    ServeSimulator,
+    build_spec_cluster,
+)
+from repro.models import convnet_spec
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def serve_rows(profile):
+    rows = run_tableS1(profile)
+    emit(render_tableS1(rows))
+    return rows
+
+
+def test_benchmark_serve_loop(benchmark):
+    """Timed body: the discrete-event loop itself (services memoized, so
+    this measures queueing simulation, not the cycle-level engine)."""
+    cluster = build_spec_cluster(convnet_spec(), 16, 4)
+
+    def body():
+        workload = PoissonWorkload(
+            200.0, 400, seed=3, mix={"convnet": 1.0}
+        )
+        return ServeSimulator(cluster, FIFOScheduler(), workload).run()
+
+    assert benchmark(body).num_requests == 400
+
+
+def test_serve_crossover_claims(serve_rows):
+    """Model parallelism answers sooner when idle; replica groups keep
+    goodput up under saturation (paper §I, QoS argument)."""
+    trad = [r for r in serve_rows if r.scheme == "traditional"]
+    low = min(r.load_factor for r in trad)
+    high = max(r.load_factor for r in trad)
+    at_low = [r for r in trad if r.load_factor == low]
+    at_high = [r for r in trad if r.load_factor == high]
+    assert min(at_low, key=lambda r: r.p50).group_cores == max(
+        r.group_cores for r in trad
+    )
+    assert max(at_high, key=lambda r: r.goodput).group_cores < max(
+        r.group_cores for r in trad
+    )
+
+
+def test_structure_dominates_traditional_tails(serve_rows):
+    """Geometry-aware structure plans move less traffic, so every load
+    point has a lower p99 than the traditional scheme at equal geometry."""
+    by_key = {(r.scheme, r.group_cores, r.load_factor): r for r in serve_rows}
+    for (scheme, g, f), row in by_key.items():
+        if scheme != "structure":
+            continue
+        twin = by_key.get(("traditional", g, f))
+        if twin is not None:
+            assert row.p99 <= twin.p99

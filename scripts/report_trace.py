@@ -26,12 +26,20 @@ from repro.obs import read_jsonl  # noqa: E402
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="JSONL trace file from repro-experiments --trace")
+    parser.add_argument(
+        "--top-links",
+        type=int,
+        default=8,
+        help="how many busiest directed links each heatmap lists",
+    )
     args = parser.parse_args()
 
     path = Path(args.trace)
     if not path.exists():
         parser.error(f"no such trace file: {path}")
-    print(summarize_trace(read_jsonl(path)))
+    # Empty or span-less traces summarize to "no data" rather than erroring:
+    # CI smoke jobs feed whatever the run produced straight in.
+    print(summarize_trace(read_jsonl(path), top_links=args.top_links))
     return 0
 
 

@@ -1,6 +1,7 @@
 """Metrics and report rendering."""
 
 from .heatmap import render_mesh_heatmap
+from .pareto import pareto_flags, pareto_front
 from .metrics import (
     geometric_mean,
     reduction,
@@ -20,6 +21,8 @@ __all__ = [
     "render_table",
     "format_value",
     "render_mesh_heatmap",
+    "pareto_flags",
+    "pareto_front",
     "phase_breakdown",
     "render_metrics_snapshot",
     "summarize_trace",

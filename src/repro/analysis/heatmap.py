@@ -49,8 +49,17 @@ def _fmt(count: int) -> str:
 
 
 def render_mesh_heatmap(profile: NoCProfile, top_links: int = 8) -> str:
-    """Render the mesh grid plus a busiest-directed-links table."""
+    """Render the mesh grid plus a busiest-directed-links table.
+
+    A node-less profile (0x0 mesh — e.g. deserialized from a truncated
+    trace) renders as a one-line "no data" notice instead of raising.
+    """
     w, h = profile.width, profile.height
+    if profile.num_nodes == 0:
+        return (
+            f"NoC utilization — {w}x{h} mesh: no data "
+            "(no profiled drains accumulated)"
+        )
     link = profile.link_flits
     router = profile.router_flits
     peak = int(router.max()) if router.size else 0

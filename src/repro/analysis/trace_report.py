@@ -98,13 +98,23 @@ def render_metrics_snapshot(snapshot: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-def summarize_trace(records: list[dict[str, Any]]) -> str:
-    """Full report: phase breakdown, metrics, and per-mesh heatmaps."""
+def summarize_trace(records: list[dict[str, Any]], top_links: int = 8) -> str:
+    """Full report: phase breakdown, metrics, and per-mesh heatmaps.
+
+    Degenerate inputs degrade gracefully: an empty record list (e.g. a trace
+    file from a run where tracing never fired) reports "no data" instead of
+    raising, and empty NoC profiles render as one-line notices
+    (:func:`~repro.analysis.heatmap.render_mesh_heatmap`).
+    """
+    if not records:
+        return "empty trace — no data (was the file written by --trace?)"
     sections = [phase_breakdown(records)]
     for r in records:
         if r.get("type") == "metrics":
             sections.append(render_metrics_snapshot(r.get("snapshot", {})))
     for r in records:
         if r.get("type") == "noc_profile":
-            sections.append(render_mesh_heatmap(NoCProfile.from_dict(r)))
+            sections.append(
+                render_mesh_heatmap(NoCProfile.from_dict(r), top_links=top_links)
+            )
     return "\n\n".join(sections)

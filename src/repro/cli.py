@@ -1,6 +1,8 @@
-"""Command-line entry point: ``repro-experiments [names...] [--profile fast]``.
+"""Command-line entry points: ``repro-experiments`` and ``repro-serve``.
 
-Runs the requested paper experiments (default: all) and prints their tables.
+``repro-experiments [names...] [--profile fast]`` runs the requested paper
+experiments (default: all) and prints their tables; ``repro-serve`` (see
+:mod:`repro.serve.cli`) drives the request-level serving simulator.
 Trained models are cached under ``$REPRO_CACHE_DIR`` (default
 ``.repro_cache/``), so re-runs only pay for simulation.
 
@@ -25,7 +27,18 @@ from . import obs
 from .experiments import EXPERIMENTS, get_profile
 from .experiments.runner import run_one
 
-__all__ = ["main"]
+__all__ = ["main", "serve_main"]
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro-serve`` entry point — the request-level serving simulator.
+
+    Lives here so both console scripts resolve through one module; the
+    implementation (arg parsing included) is :mod:`repro.serve.cli`.
+    """
+    from .serve.cli import main as _serve_cli
+
+    return _serve_cli(argv)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -30,6 +30,7 @@ from .table3 import render_table3, run_table3
 from .table4 import render_table4, run_table4
 from .table5 import render_table5, run_table5
 from .table6 import render_table6, run_table6
+from .tableS1 import render_tableS1, run_tableS1
 
 __all__ = ["run_all", "EXPERIMENTS"]
 
@@ -40,6 +41,7 @@ EXPERIMENTS = (
     "table4",
     "table5",
     "table6",
+    "tableS1",
     "ablation-mask-exponent",
     "ablation-mapping",
     "ablation-noc",
@@ -69,6 +71,8 @@ def _run_one(name: str, profile: ExperimentProfile) -> str:
         return render_table5(run_table5(profile))
     if name == "table6":
         return render_table6(run_table6(profile))
+    if name == "tableS1":
+        return render_tableS1(run_tableS1(profile))
     if name == "ablation-mask-exponent":
         return render_mask_exponent(run_mask_exponent_ablation(profile))
     if name == "ablation-mapping":

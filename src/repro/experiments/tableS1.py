@@ -1,0 +1,189 @@
+"""Table S1 (beyond the paper) — serving latency-throughput Pareto frontier.
+
+The paper's §I QoS claim — model parallelism wins response time, input-level
+parallelism wins throughput — evaluated under *load*: a Poisson request
+stream is served by the 16-core chip partitioned into replica groups of
+16 / 4 / 1 cores (model-parallel ... data-parallel), under the traditional
+and structure-level schemes, across arrival rates from idle to saturation.
+
+Expected shape (and what the seeded test asserts): at low arrival rates the
+full-chip model-parallel plans hold the lowest p99 response time; past a
+replica configuration's capacity its queue — and therefore its tail — blows
+up, so at high rates the many-small-replica (data-parallel) configurations
+keep the higher goodput.  The frontier column marks the per-scheme
+Pareto-optimal (goodput, p99) points a deployer would actually pick.
+
+Geometry-only plans (no training): the structure scheme groups every
+eligible conv layer replica-wide, which is the paper's Parallel#1 transform
+without the retraining step — its accuracy cost is Table III/IV's subject,
+not this table's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..analysis.pareto import pareto_flags
+from ..analysis.tables import render_table
+from ..models.zoo import get_spec
+from ..serve.cluster import Cluster, build_spec_cluster
+from ..serve.scheduler import make_scheduler
+from ..serve.simulator import simulate_serving
+from ..serve.slo import SLO
+from ..serve.workload import PoissonWorkload
+from .config import ExperimentProfile, PAPER
+
+__all__ = ["TableS1Row", "run_tableS1", "render_tableS1"]
+
+SERVE_NETWORK = "convnet"
+DEFAULT_GROUP_SIZES = (16, 4, 1)
+DEFAULT_LOAD_FACTORS = (0.2, 0.6, 1.2, 2.0)
+FAST_LOAD_FACTORS = (0.2, 2.0)
+
+
+@dataclass(frozen=True)
+class TableS1Row:
+    """One (scheme, replica-group size, arrival rate) operating point."""
+
+    scheme: str
+    group_cores: int
+    replicas: int
+    load_factor: float  # offered rate / one full-chip MP replica's capacity
+    rate_per_megacycle: float
+    p50: int
+    p99: int
+    throughput: float  # completions per megacycle
+    goodput: float  # SLO-met completions per megacycle
+    violation_rate: float
+    utilization: float
+    pareto: bool  # on the (goodput up, p99 down) frontier
+
+
+def _configurations(
+    schemes: tuple[str, ...], group_sizes: tuple[int, ...]
+) -> list[tuple[str, int]]:
+    configs = []
+    for scheme in schemes:
+        for g in group_sizes:
+            # A 1-core group has nothing to partition: structure degenerates
+            # to traditional, so only report it once.
+            if scheme == "structure" and g == 1:
+                continue
+            configs.append((scheme, g))
+    return configs
+
+
+def run_tableS1(
+    profile: ExperimentProfile = PAPER,
+    num_cores: int = 16,
+    group_sizes: tuple[int, ...] = DEFAULT_GROUP_SIZES,
+    schemes: tuple[str, ...] = ("traditional", "structure"),
+    load_factors: tuple[float, ...] | None = None,
+    num_requests: int | None = None,
+    scheduler: str = "fifo",
+    slo_factor: float = 2.0,
+    seed: int = 0,
+) -> list[TableS1Row]:
+    """Sweep arrival rate x scheme x replica-group size on one chip.
+
+    Rates are expressed as multiples (``load_factors``) of the full-chip
+    traditional model-parallel configuration's capacity, so the sweep spans
+    the same relative operating range at any chip size.  The shared SLO —
+    ``slo_factor`` x the *slowest* configuration's unloaded latency — is the
+    loosest target every configuration can meet when idle, making goodput
+    comparable across them.
+    """
+    fast = profile.name == "fast"
+    if load_factors is None:
+        load_factors = FAST_LOAD_FACTORS if fast else DEFAULT_LOAD_FACTORS
+    if num_requests is None:
+        num_requests = 150 if fast else 600
+
+    spec = get_spec(SERVE_NETWORK)
+    clusters: dict[tuple[str, int], Cluster] = {
+        (scheme, g): build_spec_cluster(spec, num_cores, g, scheme=scheme)
+        for scheme, g in _configurations(schemes, group_sizes)
+    }
+    # One full-chip traditional replica is the rate yardstick.
+    yardstick = clusters.get(("traditional", num_cores)) or build_spec_cluster(
+        spec, num_cores, num_cores, scheme="traditional"
+    )
+    base_rate = 1e6 / yardstick.unloaded_latency(spec.name)
+    slo = SLO(
+        target_cycles=int(
+            slo_factor * max(c.unloaded_latency(spec.name) for c in clusters.values())
+        ),
+        name="tableS1",
+    )
+
+    rows: list[TableS1Row] = []
+    for (scheme, g), cluster in clusters.items():
+        for factor in load_factors:
+            rate = factor * base_rate
+            workload = PoissonWorkload(
+                rate_per_megacycle=rate,
+                num_requests=num_requests,
+                seed=seed + 1000 * int(factor * 100),
+                mix={spec.name: 1.0},
+            )
+            _, report = simulate_serving(
+                cluster, make_scheduler(scheduler), workload, slo=slo
+            )
+            assert report is not None
+            rows.append(
+                TableS1Row(
+                    scheme=scheme,
+                    group_cores=g,
+                    replicas=cluster.num_groups,
+                    load_factor=factor,
+                    rate_per_megacycle=rate,
+                    p50=report.p50,
+                    p99=report.p99,
+                    throughput=report.throughput_per_megacycle,
+                    goodput=report.goodput_per_megacycle,
+                    violation_rate=report.violation_rate,
+                    utilization=report.utilization,
+                    pareto=False,
+                )
+            )
+
+    # The frontier is computed within each scheme: geometry-only structure
+    # pays no accuracy cost here, so a global frontier would trivially be
+    # all-structure and hide the replica-size crossover the table is about.
+    flagged: list[TableS1Row] = []
+    for scheme in dict.fromkeys(r.scheme for r in rows):
+        group = [r for r in rows if r.scheme == scheme]
+        flags = pareto_flags([(r.goodput, float(r.p99)) for r in group])
+        flagged.extend(replace(r, pareto=f) for r, f in zip(group, flags))
+    return flagged
+
+
+def render_tableS1(rows: list[TableS1Row]) -> str:
+    return render_table(
+        [
+            "scheme", "grp cores", "replicas", "load", "rate/Mcyc",
+            "p50 cyc", "p99 cyc", "tput/Mcyc", "goodput", "viol %", "util %",
+            "pareto",
+        ],
+        [
+            [
+                r.scheme,
+                r.group_cores,
+                r.replicas,
+                f"{r.load_factor:g}x",
+                f"{r.rate_per_megacycle:.0f}",
+                f"{r.p50:,}",
+                f"{r.p99:,}",
+                f"{r.throughput:.1f}",
+                f"{r.goodput:.1f}",
+                f"{r.violation_rate:.0%}",
+                f"{r.utilization:.0%}",
+                "*" if r.pareto else "",
+            ]
+            for r in rows
+        ],
+        title=(
+            "Table S1 — serving QoS: latency-throughput Pareto frontier "
+            f"({SERVE_NETWORK}, Poisson arrivals, FIFO dispatch)"
+        ),
+    )

@@ -1,0 +1,192 @@
+"""``repro-serve`` — run one serving configuration (or the Table S1 sweep).
+
+Single-configuration mode serves a seeded request stream against one
+replica-group layout and prints the run summary plus the SLO report::
+
+    repro-serve --network convnet --cores 16 --group-cores 4 \\
+        --scheme structure --scheduler batch --rate 40 --requests 200
+
+``--sweep`` instead runs the Table S1 arrival-rate x scheme x group-size
+sweep and prints the latency-throughput Pareto table.  ``--trace`` /
+``--metrics`` behave exactly like ``repro-experiments``: spans + metrics
+(+ NoC profiles, when any plan needed fresh cycle-level drains) go to a
+JSONL file summarizable with ``scripts/report_trace.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import obs
+from ..models.zoo import SPEC_BUILDERS, get_spec
+from .cluster import build_spec_cluster
+from .scheduler import SCHEDULERS, make_scheduler
+from .simulator import simulate_serving
+from .slo import SLO
+from .workload import ClosedLoopWorkload, LoadGenerator, MMPPWorkload, PoissonWorkload
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Request-level serving simulation on the Learn-to-Scale chip.",
+    )
+    parser.add_argument(
+        "--network", default="convnet", choices=sorted(SPEC_BUILDERS),
+        help="model-zoo network to serve (default: convnet)",
+    )
+    parser.add_argument("--cores", type=int, default=16, help="total chip cores")
+    parser.add_argument(
+        "--group-cores", type=int, default=16,
+        help="cores per replica group (1 = data parallel, cores = model parallel)",
+    )
+    parser.add_argument(
+        "--scheme", default="traditional", choices=("traditional", "structure"),
+        help="partitioning scheme inside each replica group",
+    )
+    parser.add_argument(
+        "--scheduler", default="fifo", choices=SCHEDULERS, help="dispatch policy"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=4,
+        help="max batch size for --scheduler batch",
+    )
+    parser.add_argument(
+        "--workload", default="poisson", choices=("poisson", "mmpp", "closed"),
+        help="load generator",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=20.0,
+        help="open-loop arrival rate in requests per megacycle",
+    )
+    parser.add_argument(
+        "--burst-rate", type=float, default=None,
+        help="mmpp burst-state rate (default: 8x --rate)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200, help="open-loop request count"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="closed-loop client population"
+    )
+    parser.add_argument(
+        "--think", type=float, default=1e6,
+        help="closed-loop mean think time in cycles",
+    )
+    parser.add_argument(
+        "--slo-factor", type=float, default=2.0,
+        help="SLO target as a multiple of the unloaded latency",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the Table S1 rate x scheme x group-size sweep instead",
+    )
+    parser.add_argument(
+        "--profile", default="paper", choices=("paper", "fast"),
+        help="sweep size profile (--sweep only)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL trace (spans + metrics + NoC profiles) to PATH",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics snapshot after the run",
+    )
+    return parser
+
+
+def _build_workload(args: argparse.Namespace) -> LoadGenerator:
+    mix = {args.network: 1.0}
+    if args.workload == "poisson":
+        return PoissonWorkload(
+            rate_per_megacycle=args.rate,
+            num_requests=args.requests,
+            seed=args.seed,
+            mix=mix,
+        )
+    if args.workload == "mmpp":
+        return MMPPWorkload(
+            calm_rate=args.rate,
+            burst_rate=args.burst_rate or 8 * args.rate,
+            num_requests=args.requests,
+            seed=args.seed,
+            mix=mix,
+        )
+    per_client = max(1, args.requests // args.clients)
+    return ClosedLoopWorkload(
+        clients=args.clients,
+        requests_per_client=per_client,
+        think_cycles=args.think,
+        seed=args.seed,
+        mix=mix,
+    )
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    spec = get_spec(args.network)
+    cluster = build_spec_cluster(
+        spec, args.cores, args.group_cores, scheme=args.scheme
+    )
+    slo = SLO(int(args.slo_factor * cluster.unloaded_latency(spec.name)))
+    scheduler = make_scheduler(args.scheduler, max_batch=args.batch_size)
+    result, report = simulate_serving(
+        cluster, scheduler, _build_workload(args), slo=slo
+    )
+    print(cluster.describe())
+    print(
+        f"unloaded latency {cluster.unloaded_latency(spec.name):,} cycles, "
+        f"capacity {cluster.capacity_per_megacycle(spec.name):.1f} req/Mcycle"
+    )
+    print(result.summary())
+    print()
+    assert report is not None
+    print(report.render())
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from ..experiments import get_profile
+    from ..experiments.tableS1 import render_tableS1, run_tableS1
+
+    rows = run_tableS1(
+        get_profile(args.profile),
+        num_cores=args.cores,
+        scheduler=args.scheduler,
+        slo_factor=args.slo_factor,
+        seed=args.seed,
+    )
+    print(render_tableS1(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.cores % args.group_cores:
+        parser.error(
+            f"--group-cores {args.group_cores} does not tile --cores {args.cores}"
+        )
+
+    if args.trace:
+        obs.enable_tracing()
+        obs.enable_noc_profiling()
+    try:
+        status = _run_sweep(args) if args.sweep else _run_single(args)
+    finally:
+        if args.trace:
+            path = obs.export_trace(args.trace)
+            print(f"[trace written to {path}]")
+            obs.disable_tracing()
+            obs.disable_noc_profiling()
+    if args.metrics:
+        print(obs.METRICS.render())
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Per-request records and aggregate results of one serving simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RequestRecord", "ServeResult"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The full life cycle of one served request (cycles, core clock)."""
+
+    rid: int
+    model: str
+    arrival: int
+    start: int  # dispatch cycle (batch launch)
+    finish: int  # batch drain cycle — every request in a batch ends together
+    replica: int  # replica-group id that served it
+    batch_size: int = 1
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.arrival <= self.start <= self.finish:
+            raise ValueError(
+                f"request {self.rid}: arrival {self.arrival} <= start {self.start} "
+                f"<= finish {self.finish} violated"
+            )
+
+    @property
+    def latency(self) -> int:
+        """Response time the client observes."""
+        return self.finish - self.arrival
+
+    @property
+    def queue_cycles(self) -> int:
+        """Time spent waiting for a replica group."""
+        return self.start - self.arrival
+
+    @property
+    def service_cycles(self) -> int:
+        """Time on the replica group (shared across a batch)."""
+        return self.finish - self.start
+
+
+@dataclass
+class ServeResult:
+    """Everything one :class:`~repro.serve.simulator.ServeSimulator` run produced."""
+
+    scheme: str
+    scheduler: str
+    total_cores: int
+    group_cores: int
+    records: list[RequestRecord] = field(default_factory=list)
+    #: per-replica-group busy cycles (dispatch to drain, summed over batches).
+    busy_cycles: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_groups(self) -> int:
+        return self.total_cores // self.group_cores
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan(self) -> int:
+        """First arrival to last completion (0 when nothing ran)."""
+        if not self.records:
+            return 0
+        return max(r.finish for r in self.records) - min(r.arrival for r in self.records)
+
+    def latencies(self) -> list[int]:
+        """Per-request response times, sorted ascending."""
+        return sorted(r.latency for r in self.records)
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan the replica groups were busy."""
+        span = self.makespan
+        if span == 0 or self.num_groups == 0:
+            return 0.0
+        return sum(self.busy_cycles.values()) / (span * self.num_groups)
+
+    @property
+    def throughput_per_megacycle(self) -> float:
+        """Completed requests per megacycle of wall time."""
+        span = self.makespan
+        return len(self.records) * 1e6 / span if span else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.batch_size for r in self.records) / len(self.records)
+
+    def summary(self) -> str:
+        """One-paragraph human summary (the CLI's headline)."""
+        if not self.records:
+            return (
+                f"{self.scheme}/{self.scheduler} on {self.num_groups} x "
+                f"{self.group_cores}-core groups: no requests served"
+            )
+        lats = self.latencies()
+        return (
+            f"{self.scheme}/{self.scheduler} on {self.num_groups} x "
+            f"{self.group_cores}-core groups: {len(lats)} requests in "
+            f"{self.makespan:,} cycles "
+            f"({self.throughput_per_megacycle:.1f} req/Mcycle, "
+            f"{self.utilization:.0%} busy, mean batch {self.mean_batch_size:.2f})"
+        )

@@ -1,0 +1,175 @@
+"""Dispatch policies: which queued request(s) a free replica group runs next.
+
+All policies are deterministic: ties break on arrival order, then request
+id.  The simulator calls :meth:`Scheduler.bind` once with the cluster (so
+policies can look up service times), :meth:`enqueue` on every arrival, and
+:meth:`next_batch` whenever a replica group frees up.
+
+* :class:`FIFOScheduler` — arrival order; the baseline every queueing result
+  is quoted against.
+* :class:`SJFScheduler` — shortest-job-first by the request's service time
+  on one group; minimizes mean latency at the price of starving long jobs.
+* :class:`PriorityScheduler` — highest ``Request.priority`` first (per-model
+  priorities are assigned by the workload's ``priorities`` map).
+* :class:`BatchingScheduler` — FIFO, but dequeues up to ``max_batch``
+  consecutive same-model requests at once; the batch pipelines its DRAM
+  input loads behind compute, so only the first load is exposed
+  (:meth:`~repro.serve.cluster.PlanService.batch_cycles`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+
+from .cluster import Cluster
+from .workload import Request
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "SJFScheduler",
+    "PriorityScheduler",
+    "BatchingScheduler",
+    "make_scheduler",
+    "SCHEDULERS",
+]
+
+
+class Scheduler(ABC):
+    """Queue + policy; see the module docstring for the contract."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._cluster: Cluster | None = None
+
+    def bind(self, cluster: Cluster) -> None:
+        """Give the policy access to the cluster's service times."""
+        self._cluster = cluster
+
+    @abstractmethod
+    def enqueue(self, request: Request) -> None: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def next_batch(self, now: int) -> list[Request]:
+        """Requests to run together on one free replica group (may be empty)."""
+
+
+class FIFOScheduler(Scheduler):
+    """First come, first served — one request per dispatch."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[Request] = deque()
+
+    def enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def next_batch(self, now: int) -> list[Request]:
+        return [self._queue.popleft()] if self._queue else []
+
+
+class _HeapScheduler(Scheduler):
+    """Priority-queue scheduling with a policy-defined sort key."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple] = []
+
+    @abstractmethod
+    def _key(self, request: Request) -> tuple: ...
+
+    def enqueue(self, request: Request) -> None:
+        heapq.heappush(
+            self._heap, (*self._key(request), request.arrival, request.rid, request)
+        )
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def next_batch(self, now: int) -> list[Request]:
+        return [heapq.heappop(self._heap)[-1]] if self._heap else []
+
+
+class SJFScheduler(_HeapScheduler):
+    """Shortest service time on one replica group first."""
+
+    name = "sjf"
+
+    def _key(self, request: Request) -> tuple:
+        if self._cluster is None:
+            raise RuntimeError("SJFScheduler needs bind(cluster) before enqueue()")
+        return (self._cluster.service(request.model).latency_cycles,)
+
+    def bind(self, cluster: Cluster) -> None:
+        if self._heap:
+            raise RuntimeError("cannot rebind with requests queued")
+        super().bind(cluster)
+
+
+class PriorityScheduler(_HeapScheduler):
+    """Highest ``Request.priority`` first; FIFO within a priority level."""
+
+    name = "priority"
+
+    def _key(self, request: Request) -> tuple:
+        return (-request.priority,)
+
+
+class BatchingScheduler(Scheduler):
+    """FIFO with same-model batching to amortize DRAM input loads."""
+
+    name = "batch"
+
+    def __init__(self, max_batch: int = 4) -> None:
+        super().__init__()
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self._queue: deque[Request] = deque()
+
+    def enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def next_batch(self, now: int) -> list[Request]:
+        if not self._queue:
+            return []
+        batch = [self._queue.popleft()]
+        # Only *consecutive* same-model requests join the batch: skipping
+        # over other models would reorder the queue and unbound their wait.
+        while (
+            self._queue
+            and len(batch) < self.max_batch
+            and self._queue[0].model == batch[0].model
+        ):
+            batch.append(self._queue.popleft())
+        return batch
+
+
+SCHEDULERS = ("fifo", "sjf", "priority", "batch")
+
+
+def make_scheduler(name: str, max_batch: int = 4) -> Scheduler:
+    """Factory used by the CLI and the experiment sweeps."""
+    if name == "fifo":
+        return FIFOScheduler()
+    if name == "sjf":
+        return SJFScheduler()
+    if name == "priority":
+        return PriorityScheduler()
+    if name == "batch":
+        return BatchingScheduler(max_batch=max_batch)
+    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULERS}")

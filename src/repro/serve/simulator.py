@@ -1,0 +1,141 @@
+"""The request-level discrete-event loop.
+
+Two event kinds drive the simulation: request **arrivals** (from the load
+generator) and replica-group **completions**.  After every event the
+scheduler is drained onto free replica groups; a dispatched batch occupies
+its group for :meth:`~repro.serve.cluster.PlanService.batch_cycles` and all
+of its requests complete when the batch drains.  Closed-loop generators are
+fed each completion so they can issue the client's next request.
+
+Determinism: the event heap orders by ``(cycle, insertion sequence)`` and
+free replica groups are taken lowest-id first, so a seeded workload always
+produces the identical trace.  The loop runs until both the event heap and
+the queue are empty — open-loop generators produce a finite stream, and
+closed-loop generators a finite quota per client, so termination is
+structural rather than horizon-clipped.
+
+Observability: the run is wrapped in a ``serve.run`` span; arrivals,
+dispatches, and batch sizes feed :data:`repro.obs.METRICS`
+(``serve.requests``, ``serve.dispatches``, ``serve.latency_cycles`` ...).
+Per-request spans are deliberately not emitted — a serving sweep completes
+millions of requests, and the records themselves are the per-request truth.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..obs import METRICS, span
+from .cluster import Cluster
+from .results import RequestRecord, ServeResult
+from .scheduler import Scheduler
+from .slo import SLO, SLOReport, evaluate_slo
+from .workload import LoadGenerator, Request
+
+__all__ = ["ServeSimulator", "simulate_serving"]
+
+_ARRIVAL, _COMPLETION = 0, 1
+
+
+class ServeSimulator:
+    """Run one (cluster, scheduler, workload) configuration to completion."""
+
+    def __init__(
+        self, cluster: Cluster, scheduler: Scheduler, workload: LoadGenerator
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.workload = workload
+        scheduler.bind(cluster)
+
+    def run(self) -> ServeResult:
+        result = ServeResult(
+            scheme=self.cluster.scheme,
+            scheduler=self.scheduler.name,
+            total_cores=self.cluster.total_cores,
+            group_cores=self.cluster.group_cores,
+            busy_cycles={g: 0 for g in range(self.cluster.num_groups)},
+        )
+        events: list[tuple[int, int, int, object]] = []
+        free = list(range(self.cluster.num_groups))
+        heapq.heapify(free)
+        seq = 0
+
+        def push(cycle: int, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (cycle, seq, kind, payload))
+            seq += 1
+
+        def dispatch(now: int) -> None:
+            while free and len(self.scheduler):
+                batch = self.scheduler.next_batch(now)
+                if not batch:
+                    break
+                service = self.cluster.service(batch[0].model)
+                duration = service.batch_cycles(len(batch))
+                replica = heapq.heappop(free)
+                result.busy_cycles[replica] += duration
+                METRICS.inc("serve.dispatches")
+                METRICS.observe("serve.batch_size", len(batch))
+                push(now + duration, _COMPLETION, (replica, now, batch))
+
+        with span(
+            "serve.run",
+            scheme=self.cluster.scheme,
+            scheduler=self.scheduler.name,
+            groups=self.cluster.num_groups,
+            group_cores=self.cluster.group_cores,
+        ) as sp:
+            for request in self.workload.initial():
+                push(request.arrival, _ARRIVAL, request)
+            while events:
+                now = events[0][0]
+                # Drain every event stamped `now` before dispatching, so
+                # simultaneous arrivals are all visible to the scheduler as
+                # one instant (a batcher can group them) and a completion
+                # freeing a replica can serve an arrival at the same cycle.
+                while events and events[0][0] == now:
+                    _, _, kind, payload = heapq.heappop(events)
+                    if kind == _ARRIVAL:
+                        assert isinstance(payload, Request)
+                        METRICS.inc("serve.requests")
+                        self.scheduler.enqueue(payload)
+                    else:
+                        replica, started, batch = payload
+                        heapq.heappush(free, replica)
+                        for request in batch:
+                            record = RequestRecord(
+                                rid=request.rid,
+                                model=request.model,
+                                arrival=request.arrival,
+                                start=started,
+                                finish=now,
+                                replica=replica,
+                                batch_size=len(batch),
+                                priority=request.priority,
+                            )
+                            result.records.append(record)
+                            METRICS.observe("serve.latency_cycles", record.latency)
+                            METRICS.observe("serve.queue_cycles", record.queue_cycles)
+                            follow_up = self.workload.on_completion(request, now)
+                            if follow_up is not None:
+                                push(follow_up.arrival, _ARRIVAL, follow_up)
+                dispatch(now)
+            sp.set(
+                requests=result.num_requests,
+                makespan=result.makespan,
+                utilization=round(result.utilization, 4),
+            )
+        return result
+
+
+def simulate_serving(
+    cluster: Cluster,
+    scheduler: Scheduler,
+    workload: LoadGenerator,
+    slo: SLO | None = None,
+) -> tuple[ServeResult, SLOReport | None]:
+    """One-call convenience: run the loop and (optionally) score an SLO."""
+    result = ServeSimulator(cluster, scheduler, workload).run()
+    report = evaluate_slo(result, slo) if slo is not None else None
+    return result, report

@@ -1,0 +1,135 @@
+"""Tail-latency SLOs: percentiles, goodput, and violation accounting.
+
+Percentiles use the **nearest-rank** definition (the smallest value with at
+least ``p%`` of the sample at or below it) — no interpolation, so every
+quoted number is a latency that some request actually experienced, and the
+tests can check them against hand-computed traces.
+
+``evaluate_slo`` folds a :class:`~repro.serve.results.ServeResult` against
+one :class:`SLO` into an :class:`SLOReport` and feeds the outcome into the
+global :data:`repro.obs.METRICS` registry (``serve.slo_violations``,
+``serve.goodput`` etc.), so serving sweeps surface in ``--metrics``
+snapshots and traces like every other subsystem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.tables import render_table
+from ..obs import METRICS
+from .results import ServeResult
+
+__all__ = ["percentile", "SLO", "SLOReport", "evaluate_slo"]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (need not be sorted)."""
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct must be in (0, 100], got {pct}")
+    if len(values) == 0:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A per-request response-time objective in core cycles."""
+
+    target_cycles: int
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.target_cycles <= 0:
+            raise ValueError(f"target must be positive, got {self.target_cycles}")
+
+    def met_by(self, latency_cycles: int) -> bool:
+        return latency_cycles <= self.target_cycles
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Aggregate QoS of one serving run against one SLO."""
+
+    slo_target_cycles: int
+    requests: int
+    p50: int
+    p95: int
+    p99: int
+    mean_latency: float
+    max_latency: int
+    mean_queue_cycles: float
+    violation_rate: float  # fraction of requests over the SLO target
+    throughput_per_megacycle: float  # all completions
+    goodput_per_megacycle: float  # completions within the SLO only
+    utilization: float
+
+    @staticmethod
+    def empty(slo: SLO) -> "SLOReport":
+        """The no-requests report (all zeros rather than a crash)."""
+        return SLOReport(
+            slo_target_cycles=slo.target_cycles,
+            requests=0, p50=0, p95=0, p99=0,
+            mean_latency=0.0, max_latency=0, mean_queue_cycles=0.0,
+            violation_rate=0.0, throughput_per_megacycle=0.0,
+            goodput_per_megacycle=0.0, utilization=0.0,
+        )
+
+    def render(self) -> str:
+        """Two-column text table of the report."""
+        rows = [
+            ["requests", self.requests],
+            ["SLO target (cycles)", f"{self.slo_target_cycles:,}"],
+            ["p50 latency (cycles)", f"{self.p50:,}"],
+            ["p95 latency (cycles)", f"{self.p95:,}"],
+            ["p99 latency (cycles)", f"{self.p99:,}"],
+            ["mean latency (cycles)", f"{self.mean_latency:,.0f}"],
+            ["max latency (cycles)", f"{self.max_latency:,}"],
+            ["mean queue wait (cycles)", f"{self.mean_queue_cycles:,.0f}"],
+            ["SLO violation rate", f"{self.violation_rate:.1%}"],
+            ["throughput (req/Mcycle)", f"{self.throughput_per_megacycle:.2f}"],
+            ["goodput (req/Mcycle)", f"{self.goodput_per_megacycle:.2f}"],
+            ["replica utilization", f"{self.utilization:.1%}"],
+        ]
+        return render_table(["metric", "value"], rows, title="SLO report")
+
+
+def evaluate_slo(result: ServeResult, slo: SLO) -> SLOReport:
+    """Score a run against an SLO and publish the outcome to ``METRICS``."""
+    # Register both sides so snapshots always show the rate.
+    METRICS.inc("serve.requests_scored", 0)
+    METRICS.inc("serve.slo_violations", 0)
+    if not result.records:
+        return SLOReport.empty(slo)
+
+    lats = result.latencies()
+    violations = sum(1 for l in lats if not slo.met_by(l))
+    good = len(lats) - violations
+    span = result.makespan
+    report = SLOReport(
+        slo_target_cycles=slo.target_cycles,
+        requests=len(lats),
+        p50=int(percentile(lats, 50)),
+        p95=int(percentile(lats, 95)),
+        p99=int(percentile(lats, 99)),
+        mean_latency=sum(lats) / len(lats),
+        max_latency=lats[-1],
+        mean_queue_cycles=(
+            sum(r.queue_cycles for r in result.records) / len(result.records)
+        ),
+        violation_rate=violations / len(lats),
+        throughput_per_megacycle=result.throughput_per_megacycle,
+        goodput_per_megacycle=good * 1e6 / span if span else 0.0,
+        utilization=result.utilization,
+    )
+    labels = {"scheme": result.scheme, "groups": result.num_groups}
+    METRICS.inc("serve.requests_scored", len(lats))
+    METRICS.inc("serve.slo_violations", violations)
+    METRICS.set_gauge("serve.p99_cycles", report.p99, **labels)
+    METRICS.set_gauge("serve.goodput_per_megacycle", report.goodput_per_megacycle, **labels)
+    METRICS.set_gauge("serve.utilization", report.utilization, **labels)
+    return report

@@ -1,0 +1,253 @@
+"""Load generation for the serving simulator.
+
+All generators are seeded and deterministic: the same constructor arguments
+always produce the same request stream (arrival times are integers in *core*
+clock cycles, matching the engine's unit).  Two families:
+
+* **open-loop** — arrivals are independent of the system's responses, the
+  datacenter regime: :class:`PoissonWorkload` (memoryless arrivals at a
+  fixed rate) and :class:`MMPPWorkload` (a two-state Markov-modulated
+  Poisson process alternating calm and burst phases, the classic bursty
+  traffic model);
+* **closed-loop** — :class:`ClosedLoopWorkload`: a fixed population of
+  clients, each thinking for an exponential time after every response
+  before issuing its next request, so the offered load self-throttles with
+  the system's latency.
+
+Rates are expressed in requests per **megacycle** — the natural unit given
+single-pass latencies of a few thousand to a few hundred thousand cycles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Request",
+    "LoadGenerator",
+    "PoissonWorkload",
+    "MMPPWorkload",
+    "ClosedLoopWorkload",
+]
+
+MEGACYCLE = 1_000_000
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request entering the cluster."""
+
+    rid: int
+    arrival: int  # core clock cycle the request becomes visible
+    model: str = "default"
+    priority: int = 0  # larger = more urgent (PriorityScheduler)
+
+
+def _normalized_mix(mix: dict[str, float] | None) -> tuple[list[str], np.ndarray]:
+    """Sorted model names + probability vector (defaults to one model)."""
+    if not mix:
+        return ["default"], np.array([1.0])
+    names = sorted(mix)
+    weights = np.array([float(mix[n]) for n in names])
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError(f"model mix weights must be non-negative and sum > 0: {mix}")
+    return names, weights / weights.sum()
+
+
+class LoadGenerator(ABC):
+    """Common interface the event loop drives.
+
+    ``initial()`` yields the requests known up front; ``on_completion`` lets
+    closed-loop generators react to a finished request by scheduling the
+    issuing client's next one (open-loop generators return ``None``).
+    """
+
+    name = "base"
+
+    @abstractmethod
+    def initial(self) -> list[Request]:
+        """The requests to inject before the simulation starts."""
+
+    def on_completion(self, request: Request, finish_cycle: int) -> Request | None:
+        """React to ``request`` finishing at ``finish_cycle``."""
+        return None
+
+
+class _OpenLoopWorkload(LoadGenerator):
+    """Shared machinery: interarrival sampling -> sorted request list."""
+
+    def __init__(
+        self,
+        num_requests: int,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+        priorities: dict[str, int] | None = None,
+    ) -> None:
+        if num_requests <= 0:
+            raise ValueError(f"num_requests must be positive, got {num_requests}")
+        self.num_requests = num_requests
+        self.seed = seed
+        self._names, self._probs = _normalized_mix(mix)
+        self._priorities = priorities or {}
+
+    @abstractmethod
+    def _interarrivals(self, rng: np.random.Generator) -> np.ndarray:
+        """``num_requests`` gaps between consecutive arrivals, in cycles."""
+
+    def initial(self) -> list[Request]:
+        rng = np.random.default_rng(self.seed)
+        gaps = np.maximum(1, np.rint(self._interarrivals(rng))).astype(np.int64)
+        arrivals = np.cumsum(gaps)
+        models = rng.choice(self._names, size=self.num_requests, p=self._probs)
+        return [
+            Request(
+                rid=i,
+                arrival=int(arrivals[i]),
+                model=str(models[i]),
+                priority=self._priorities.get(str(models[i]), 0),
+            )
+            for i in range(self.num_requests)
+        ]
+
+
+class PoissonWorkload(_OpenLoopWorkload):
+    """Open-loop arrivals at a constant ``rate`` requests per megacycle."""
+
+    name = "poisson"
+
+    def __init__(
+        self,
+        rate_per_megacycle: float,
+        num_requests: int,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+        priorities: dict[str, int] | None = None,
+    ) -> None:
+        super().__init__(num_requests, seed=seed, mix=mix, priorities=priorities)
+        if rate_per_megacycle <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_megacycle}")
+        self.rate = rate_per_megacycle
+
+    def _interarrivals(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(MEGACYCLE / self.rate, size=self.num_requests)
+
+
+class MMPPWorkload(_OpenLoopWorkload):
+    """Two-state Markov-modulated Poisson process (calm / burst phases).
+
+    The process alternates exponentially-distributed dwell periods in a calm
+    state (``calm_rate``) and a burst state (``burst_rate``); arrivals within
+    each state are Poisson at that state's rate.  With a strong rate contrast
+    the interarrival coefficient of variation exceeds 1 — burstier than any
+    plain Poisson stream — which is exactly what stresses tail latency.
+    """
+
+    name = "mmpp"
+
+    def __init__(
+        self,
+        calm_rate: float,
+        burst_rate: float,
+        num_requests: int,
+        mean_dwell_cycles: float = 4 * MEGACYCLE,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+        priorities: dict[str, int] | None = None,
+    ) -> None:
+        super().__init__(num_requests, seed=seed, mix=mix, priorities=priorities)
+        if calm_rate <= 0 or burst_rate <= 0:
+            raise ValueError("both state rates must be positive")
+        if mean_dwell_cycles <= 0:
+            raise ValueError("mean_dwell_cycles must be positive")
+        self.calm_rate = calm_rate
+        self.burst_rate = burst_rate
+        self.mean_dwell_cycles = mean_dwell_cycles
+
+    def _interarrivals(self, rng: np.random.Generator) -> np.ndarray:
+        gaps = np.empty(self.num_requests)
+        rates = (self.calm_rate, self.burst_rate)
+        state = 0
+        state_left = rng.exponential(self.mean_dwell_cycles)
+        for i in range(self.num_requests):
+            # Walk forward state by state until an arrival lands inside the
+            # current dwell period (memorylessness lets each state's arrival
+            # candidate be drawn fresh after a switch).
+            wait = 0.0
+            while True:
+                candidate = rng.exponential(MEGACYCLE / rates[state])
+                if candidate <= state_left:
+                    state_left -= candidate
+                    wait += candidate
+                    break
+                wait += state_left
+                state = 1 - state
+                state_left = rng.exponential(self.mean_dwell_cycles)
+            gaps[i] = wait
+        return gaps
+
+
+class ClosedLoopWorkload(LoadGenerator):
+    """Fixed client population with exponential think times.
+
+    Each of ``clients`` issues ``requests_per_client`` requests; a client's
+    next request arrives one think time after its previous response.  The
+    offered load is therefore bounded by the population size — the
+    interactive-user regime rather than the datacenter firehose.
+    """
+
+    name = "closed"
+
+    def __init__(
+        self,
+        clients: int,
+        requests_per_client: int,
+        think_cycles: float = MEGACYCLE,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+    ) -> None:
+        if clients <= 0 or requests_per_client <= 0:
+            raise ValueError("clients and requests_per_client must be positive")
+        if think_cycles <= 0:
+            raise ValueError("think_cycles must be positive")
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.think_cycles = think_cycles
+        self.seed = seed
+        self._names, self._probs = _normalized_mix(mix)
+        self._rng = np.random.default_rng(seed)
+        self._client_of: dict[int, int] = {}
+        self._issued: dict[int, int] = {}
+        self._next_rid = 0
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+    def _issue(self, client: int, arrival: int) -> Request:
+        rid = self._next_rid
+        self._next_rid += 1
+        self._client_of[rid] = client
+        self._issued[client] = self._issued.get(client, 0) + 1
+        model = str(self._rng.choice(self._names, p=self._probs))
+        return Request(rid=rid, arrival=arrival, model=model)
+
+    def initial(self) -> list[Request]:
+        # Re-seed so repeated initial() calls replay the same stream.
+        self._rng = np.random.default_rng(self.seed)
+        self._client_of.clear()
+        self._issued.clear()
+        self._next_rid = 0
+        return [
+            self._issue(c, int(max(1, self._rng.exponential(self.think_cycles))))
+            for c in range(self.clients)
+        ]
+
+    def on_completion(self, request: Request, finish_cycle: int) -> Request | None:
+        client = self._client_of.get(request.rid)
+        if client is None or self._issued[client] >= self.requests_per_client:
+            return None
+        think = int(max(1, self._rng.exponential(self.think_cycles)))
+        return self._issue(client, finish_cycle + think)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..accel.chip import ChipConfig
 from ..accel.core import CoreWorkload
 from ..models.spec import NetworkSpec
@@ -30,11 +32,23 @@ from .engine import InferenceSimulator, SimConfig
 __all__ = ["DeploymentComparison", "compare_deployments", "single_core_latency"]
 
 
-def single_core_latency(spec: NetworkSpec, chip: ChipConfig) -> int:
-    """Cycles for one core to run the whole network (no partitioning)."""
+def single_core_latency(
+    spec: NetworkSpec, chip: ChipConfig, include_input_load: bool = True
+) -> int:
+    """Cycles for one core to run the whole network (no partitioning).
+
+    ``include_input_load`` charges the DRAM stream of the input image before
+    the first layer — the same scheme-independent cost
+    :meth:`~repro.sim.engine.InferenceSimulator._input_load` charges every
+    partitioned run (a unicast to one core pipelines behind the DRAM
+    stream, so the DRAM transfer time is the whole cost).  Leaving it out
+    would flatter the data-parallel baseline relative to the simulated
+    model-parallel runs.
+    """
     core_model = chip.core_model()
     total = 0
-    for layer in spec.compute_layers():
+    compute_layers = spec.compute_layers()
+    for layer in compute_layers:
         num_inputs = layer.in_channels if layer.kind == "conv" else layer.in_shape[0]
         work = CoreWorkload(
             layer=layer,
@@ -43,6 +57,9 @@ def single_core_latency(spec: NetworkSpec, chip: ChipConfig) -> int:
             repeats=layer.groups,
         )
         total += core_model.compute_cycles(work)
+    if include_input_load and compute_layers:
+        input_bytes = int(np.prod(compute_layers[0].in_shape)) * chip.bytes_per_value
+        total += chip.dram.transfer_cycles(input_bytes)
     return total
 
 
@@ -76,11 +93,16 @@ def compare_deployments(
     sim_config: SimConfig | None = None,
 ) -> DeploymentComparison:
     """Evaluate both deployment styles for one network on one chip."""
+    cfg = sim_config or SimConfig()
     plan = build_traditional_plan(spec, chip.num_cores)
-    result = InferenceSimulator(chip, sim_config).simulate(plan)
+    result = InferenceSimulator(chip, cfg).simulate(plan)
     mp_latency = result.total_cycles
 
-    dp_latency = single_core_latency(spec, chip)
+    # Charge the input load on both sides (or neither) so the comparison
+    # stays apples-to-apples with the engine's accounting.
+    dp_latency = single_core_latency(
+        spec, chip, include_input_load=cfg.include_input_load
+    )
     per_mega = 1e6
     return DeploymentComparison(
         network=spec.name,

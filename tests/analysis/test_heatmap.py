@@ -68,3 +68,9 @@ class TestHeatmap:
         text = render_mesh_heatmap(p, top_links=3)
         assert "busiest links (top 3):" in text
         assert text.count("flits/cycle") == 3
+
+    def test_zero_node_profile_reports_no_data(self):
+        """A 0x0 profile (tracing enabled but no drains ran) must not raise."""
+        text = render_mesh_heatmap(NoCProfile(0, 0))
+        assert "no data" in text
+        assert "0x0 mesh" in text

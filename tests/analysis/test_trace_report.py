@@ -84,3 +84,23 @@ class TestSummarizeTrace:
         assert "per-phase time breakdown" in text
         assert "sim.drain_cycles" in text
         assert "2x2 mesh" in text
+
+    def test_empty_trace_reports_no_data(self):
+        text = summarize_trace([])
+        assert "no data" in text
+        assert "--trace" in text
+
+    def test_zero_span_trace_is_crash_proof(self):
+        """Records present but no spans: every section degrades politely."""
+        records = [{"type": "metrics", "snapshot": {}}]
+        text = summarize_trace(records)
+        assert "metrics snapshot:" in text
+
+    def test_top_links_forwarded(self):
+        profile = NoCProfile(4, 4)
+        for n in range(8):
+            profile.link_flits[n, 1] = 100 + n
+        profile.cycles = 10
+        records = [{"type": "noc_profile", **profile.to_dict()}]
+        text = summarize_trace(records, top_links=2)
+        assert "top 2" in text

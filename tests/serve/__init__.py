@@ -1,0 +1,1 @@
+"""Tests for the request-level serving simulator (repro.serve)."""

@@ -1,0 +1,83 @@
+"""Smoke tests for the repro-serve command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import serve_main
+from repro.serve.cli import main
+from repro.serve.cluster import clear_service_memo
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_service_memo()
+    yield
+    clear_service_memo()
+    from repro import obs
+
+    obs.disable_tracing()
+    obs.get_collector().clear()
+
+
+class TestSingleRun:
+    def test_poisson_fifo_smoke(self, capsys):
+        assert main(
+            ["--network", "lenet", "--cores", "8", "--group-cores", "4",
+             "--requests", "40", "--rate", "5", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 x 4-core" in out
+        assert "p99 latency" in out
+        assert "goodput" in out
+
+    def test_batch_scheduler_and_mmpp(self, capsys):
+        assert main(
+            ["--network", "lenet", "--cores", "4", "--group-cores", "4",
+             "--workload", "mmpp", "--scheduler", "batch", "--batch-size", "4",
+             "--requests", "30", "--rate", "10"]
+        ) == 0
+        assert "p99 latency" in capsys.readouterr().out
+
+    def test_closed_loop(self, capsys):
+        assert main(
+            ["--network", "lenet", "--cores", "4", "--group-cores", "2",
+             "--workload", "closed", "--clients", "3", "--requests", "4",
+             "--think", "5000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "replica utilization" in out
+
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        assert main(
+            ["--network", "lenet", "--cores", "4", "--group-cores", "4",
+             "--requests", "10", "--rate", "2", "--trace", str(trace), "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve.requests" in out
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(rec.get("name") == "serve.run" for rec in lines)
+
+    def test_rejects_bad_geometry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--cores", "16", "--group-cores", "3"])
+
+
+class TestSweep:
+    def test_sweep_fast_profile(self, capsys):
+        assert main(["--sweep", "--profile", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table S1" in out
+        assert "traditional" in out and "structure" in out
+
+
+class TestEntryPoint:
+    def test_serve_main_delegates(self, capsys):
+        assert serve_main(
+            ["--network", "lenet", "--cores", "4", "--group-cores", "4",
+             "--requests", "5", "--rate", "2"]
+        ) == 0
+        assert "goodput" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Percentile math, SLO scoring, and result aggregation."""
+
+import pytest
+
+from repro.serve.results import RequestRecord, ServeResult
+from repro.serve.slo import SLO, SLOReport, evaluate_slo, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_hand_computed(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_small_samples(self):
+        assert percentile([7], 50) == 7
+        assert percentile([7], 99) == 7
+        # n=4: p50 rank = ceil(2) = 2nd, p99 rank = ceil(3.96) = 4th.
+        assert percentile([40, 10, 30, 20], 50) == 20
+        assert percentile([40, 10, 30, 20], 99) == 40
+
+    def test_unsorted_input_ok(self):
+        assert percentile([5, 1, 9, 3], 50) == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+def _result(latencies, group_cores=4, total_cores=4):
+    records = [
+        RequestRecord(
+            rid=i, model="m", arrival=0, start=0, finish=lat, replica=0,
+        )
+        for i, lat in enumerate(latencies)
+    ]
+    return ServeResult(
+        scheme="traditional",
+        scheduler="fifo",
+        total_cores=total_cores,
+        group_cores=group_cores,
+        records=records,
+        busy_cycles={0: max(latencies, default=0)},
+    )
+
+
+class TestEvaluate:
+    def test_violation_rate_and_goodput(self):
+        result = _result([100, 200, 300, 400])
+        report = evaluate_slo(result, SLO(250))
+        assert report.requests == 4
+        assert report.violation_rate == pytest.approx(0.5)
+        # makespan = 400 cycles; 2 good completions.
+        assert report.goodput_per_megacycle == pytest.approx(2 * 1e6 / 400)
+        assert report.throughput_per_megacycle == pytest.approx(4 * 1e6 / 400)
+        assert report.p99 == 400
+
+    def test_empty_result_reports_zeros(self):
+        report = evaluate_slo(_result([]), SLO(100))
+        assert report == SLOReport.empty(SLO(100))
+        assert report.requests == 0
+        assert report.violation_rate == 0.0
+
+    def test_render_mentions_key_metrics(self):
+        report = evaluate_slo(_result([100, 200]), SLO(150))
+        text = report.render()
+        assert "p99 latency" in text
+        assert "goodput" in text
+        assert "50.0%" in text  # violation rate
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO(0)
+        assert SLO(10).met_by(10)
+        assert not SLO(10).met_by(11)
+
+
+class TestServeResult:
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            RequestRecord(rid=0, model="m", arrival=10, start=5, finish=20, replica=0)
+
+    def test_utilization_and_makespan(self):
+        records = [
+            RequestRecord(rid=0, model="m", arrival=0, start=0, finish=100, replica=0),
+            RequestRecord(rid=1, model="m", arrival=0, start=0, finish=50, replica=1),
+        ]
+        result = ServeResult(
+            scheme="traditional", scheduler="fifo", total_cores=8, group_cores=4,
+            records=records, busy_cycles={0: 100, 1: 50},
+        )
+        assert result.makespan == 100
+        assert result.utilization == pytest.approx(150 / 200)
+        assert "2 x 4-core" in result.summary()
+
+    def test_empty_result_is_harmless(self):
+        result = ServeResult(
+            scheme="traditional", scheduler="fifo", total_cores=4, group_cores=4
+        )
+        assert result.makespan == 0
+        assert result.utilization == 0.0
+        assert result.throughput_per_megacycle == 0.0
+        assert "no requests" in result.summary()

@@ -1,0 +1,78 @@
+"""Table S1 serving sweep: seeded determinism and the paper's QoS crossover."""
+
+import pytest
+
+from repro.experiments.config import FAST
+from repro.experiments.tableS1 import render_tableS1, run_tableS1
+from repro.serve.cluster import clear_service_memo
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_service_memo()
+    yield
+    clear_service_memo()
+
+
+@pytest.fixture(scope="module")
+def rows():
+    clear_service_memo()
+    return run_tableS1(profile=FAST)
+
+
+class TestSweepShape:
+    def test_row_count_and_configurations(self, rows):
+        # traditional x {16,4,1} + structure x {16,4}, each at 2 fast-profile
+        # load factors (structure needs >=2 cores for channel grouping).
+        assert len(rows) == 10
+        configs = {(r.scheme, r.group_cores) for r in rows}
+        assert ("traditional", 1) in configs
+        assert ("structure", 1) not in configs
+
+    def test_deterministic_for_a_seed(self, rows):
+        clear_service_memo()
+        again = run_tableS1(profile=FAST)
+        assert rows == again
+
+    def test_replica_arithmetic(self, rows):
+        for r in rows:
+            assert r.replicas * r.group_cores == 16
+
+
+class TestQoSCrossover:
+    """Paper SI: model parallelism wins tail latency at low load,
+    data parallelism wins goodput under saturation."""
+
+    def test_model_parallel_wins_latency_at_low_load(self, rows):
+        low = [r for r in rows if r.scheme == "traditional" and r.load_factor == 0.2]
+        best = min(low, key=lambda r: r.p50)
+        assert best.group_cores == 16
+        # Even the occasional queueing on the single full-chip replica keeps
+        # its tail far below the 1-core groups' raw service time.
+        full = next(r for r in low if r.group_cores == 16)
+        single = next(r for r in low if r.group_cores == 1)
+        assert full.p99 < single.p99
+
+    def test_data_parallel_wins_goodput_at_high_load(self, rows):
+        high = [r for r in rows if r.scheme == "traditional" and r.load_factor == 2.0]
+        best = max(high, key=lambda r: r.goodput)
+        assert best.group_cores < 16
+        # The full-chip model-parallel group saturates: violations pile up.
+        full = next(r for r in high if r.group_cores == 16)
+        assert full.violation_rate > 0.5
+        assert best.goodput > 2 * full.goodput
+
+    def test_pareto_frontier_marked_per_scheme(self, rows):
+        for scheme in ("traditional", "structure"):
+            flagged = [r for r in rows if r.scheme == scheme and r.pareto]
+            assert flagged, f"no Pareto points for {scheme}"
+
+
+class TestRender:
+    def test_render_has_headers_and_stars(self, rows):
+        text = render_tableS1(rows)
+        assert "Table S1" in text
+        assert "p99 cyc" in text
+        assert "goodput" in text
+        assert "*" in text
+        assert text.count("\n") >= len(rows)

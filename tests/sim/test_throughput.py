@@ -24,6 +24,35 @@ class TestSingleCoreLatency:
         dense = single_core_latency(alexnet_spec(groups=False), chip)
         assert grouped < dense
 
+    def test_input_load_charged_by_default(self):
+        """The DRAM stream of the input image is part of a single-core pass,
+        exactly as the engine charges it to every partitioned run."""
+        import numpy as np
+
+        chip = ChipConfig.table2(16)
+        spec = lenet_spec()
+        with_load = single_core_latency(spec, chip)
+        without = single_core_latency(spec, chip, include_input_load=False)
+        first = spec.compute_layers()[0]
+        input_bytes = int(np.prod(first.in_shape)) * chip.bytes_per_value
+        assert with_load - without == chip.dram.transfer_cycles(input_bytes)
+        assert with_load > without
+
+    def test_matches_engine_input_load_accounting(self):
+        """Both sides of the deployment comparison charge the identical
+        scheme-independent input-load cycles."""
+        from repro.partition.traditional import build_traditional_plan
+        from repro.sim.engine import InferenceSimulator
+
+        chip = ChipConfig.table2(16)
+        spec = lenet_spec()
+        plan = build_traditional_plan(spec, 16)
+        result = InferenceSimulator(chip, SimConfig()).simulate(plan)
+        delta = single_core_latency(spec, chip) - single_core_latency(
+            spec, chip, include_input_load=False
+        )
+        assert delta == result.input_load_cycles
+
 
 class TestCompareDeployments:
     @pytest.fixture(scope="class")
@@ -62,3 +91,15 @@ class TestCompareDeployments:
         fast = compare_deployments(lenet_spec(), fast_chip, cfg)
         slow = compare_deployments(lenet_spec(), slow_chip, cfg)
         assert slow.latency_advantage < fast.latency_advantage
+
+    def test_input_load_follows_sim_config(self):
+        """compare_deployments keeps the accounting apples-to-apples: the
+        data-parallel side charges the input load iff the engine does."""
+        chip = ChipConfig.table2(16)
+        spec = lenet_spec()
+        with_load = compare_deployments(spec, chip, SimConfig())
+        without = compare_deployments(
+            spec, chip, SimConfig(include_input_load=False)
+        )
+        assert with_load.data_parallel_latency > without.data_parallel_latency
+        assert with_load.model_parallel_latency > without.model_parallel_latency
