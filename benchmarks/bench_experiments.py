@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Record serial-vs-parallel experiment wall-clock into ``BENCH_experiments.json``.
+
+Runs the same experiment set twice per worker count — cold (fresh cache
+directory, so training and simulation actually execute) and warm (second run
+over the same cache, measuring the read-through path) — once serially and
+once with ``--workers`` processes, then writes the timings and speedups to
+``BENCH_experiments.json`` at the repo root.
+
+The script also asserts the parallel run's rendered tables are byte-identical
+to the serial run's: worker count must be a throughput knob, never an output
+knob.  Speedups depend on the machine (a single-core container will show
+~1x or below; multi-core CI shows the sharding win) — the recorded
+``cpu_count`` makes the numbers interpretable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_experiments.py \\
+        [--profile fast] [--workers 2] [--experiments table1 table3 ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.experiments import get_profile  # noqa: E402
+from repro.experiments.cache import clear_memo  # noqa: E402
+from repro.experiments.runner import EXPERIMENTS, run_all  # noqa: E402
+
+#: Default set: two table-only experiments plus two that train/simulate under
+#: internal pmap grids, so both sharding levels get exercised.
+DEFAULT_EXPERIMENTS = ("table1", "motivation", "table3", "tableS1")
+
+
+def timed_run(profile, names, workers, cache_dir) -> tuple[float, dict[str, str]]:
+    """One ``run_all`` against ``cache_dir``; returns (seconds, tables)."""
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    clear_memo()
+    t0 = time.perf_counter()
+    tables = run_all(profile, names=tuple(names), workers=workers)
+    return time.perf_counter() - t0, tables
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="fast", choices=("paper", "fast"))
+    parser.add_argument(
+        "--workers", type=int, default=2, help="parallel worker count to compare"
+    )
+    parser.add_argument(
+        "--experiments", nargs="*", default=list(DEFAULT_EXPERIMENTS),
+        help=f"experiments to time (default: {' '.join(DEFAULT_EXPERIMENTS)})",
+    )
+    args = parser.parse_args()
+    if args.workers < 2:
+        parser.error("--workers must be >= 2 (serial is always measured)")
+    unknown = [n for n in args.experiments if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+
+    profile = get_profile(args.profile)
+    timings: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="bench_experiments_") as tmp:
+        serial_dir = Path(tmp) / "serial"
+        parallel_dir = Path(tmp) / "parallel"
+        runs = [
+            ("serial_cold_s", 1, serial_dir),
+            ("serial_warm_s", 1, serial_dir),
+            ("parallel_cold_s", args.workers, parallel_dir),
+            ("parallel_warm_s", args.workers, parallel_dir),
+        ]
+        tables: dict[str, dict[str, str]] = {}
+        for label, workers, cache_dir in runs:
+            seconds, result = timed_run(profile, args.experiments, workers, cache_dir)
+            timings[label] = seconds
+            tables[label] = result
+            print(f"{label:>16}: {seconds:7.2f} s  (workers={workers})")
+
+    identical = tables["serial_cold_s"] == tables["parallel_cold_s"]
+    payload = {
+        "profile": args.profile,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "experiments": list(args.experiments),
+        "timings_s": {k: round(v, 3) for k, v in timings.items()},
+        "speedup_cold": round(timings["serial_cold_s"] / timings["parallel_cold_s"], 2),
+        "speedup_warm": round(timings["serial_warm_s"] / timings["parallel_warm_s"], 2),
+        "outputs_identical": identical,
+    }
+    out = _ROOT / "BENCH_experiments.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"cold speedup {payload['speedup_cold']}x, "
+        f"warm speedup {payload['speedup_warm']}x "
+        f"({os.cpu_count()} CPUs); wrote {out}"
+    )
+    assert identical, "parallel run rendered different tables than serial"
+
+
+if __name__ == "__main__":
+    main()

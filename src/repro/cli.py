@@ -6,28 +6,65 @@ experiments (default: all) and prints their tables; ``repro-serve`` (see
 Trained models are cached under ``$REPRO_CACHE_DIR`` (default
 ``.repro_cache/``), so re-runs only pay for simulation.
 
+Parallelism: ``--workers N`` (or ``$REPRO_WORKERS``) shards the experiment
+list — and each experiment's internal grids, when it is the outermost
+parallel level — across N worker processes.  Workers share the artifact
+cache under single-flight claims, so nothing trains twice; rendered tables
+are byte-identical to a ``--workers 1`` run.
+
 Observability flags:
 
 ``--trace out.jsonl``
     Enable span tracing *and* per-link NoC profiling for the run, then write
     spans + a metrics snapshot + accumulated NoC profiles to ``out.jsonl``
-    (summarize with ``scripts/report_trace.py out.jsonl``).
+    (summarize with ``scripts/report_trace.py out.jsonl``).  Worker-process
+    spans and profiles are merged in, so parallel traces are complete.
 ``--metrics``
     Print the metrics-registry snapshot (drain-memo and artifact-cache hit
     rates, NoC flit counters, training losses) after the experiments finish.
+
+Every run ends with a one-line artifact-cache summary (hits/misses, memo
+hits, single-flight lock activity).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from . import obs
 from .experiments import EXPERIMENTS, get_profile
+from .experiments.cache import cache_summary
 from .experiments.runner import run_one
 
-__all__ = ["main", "serve_main"]
+__all__ = ["main", "serve_main", "add_workers_flag", "apply_workers"]
+
+
+def add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--workers`` option (repro-experiments and repro-serve)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for experiment grids "
+        "(default: $REPRO_WORKERS or 1 = serial)",
+    )
+
+
+def apply_workers(workers: int | None) -> int | None:
+    """Make ``--workers`` the run-wide default by exporting ``REPRO_WORKERS``.
+
+    The env var (not just the argument) is what nested runners and spawned
+    workers consult, so one flag governs the whole process tree.
+    """
+    if workers is not None:
+        if workers < 1:
+            raise SystemExit(f"--workers must be >= 1, got {workers}")
+        os.environ["REPRO_WORKERS"] = str(workers)
+    return workers
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -69,8 +106,10 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the metrics snapshot after the experiments finish",
     )
+    add_workers_flag(parser)
     args = parser.parse_args(argv)
     profile = get_profile(args.profile)
+    workers = apply_workers(args.workers)
 
     unknown = [n for n in args.experiments if n not in EXPERIMENTS]
     if unknown:
@@ -83,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         for name in args.experiments:
             start = time.time()
-            table = run_one(name, profile)
+            table = run_one(name, profile, workers=workers)
             elapsed = time.time() - start
             print(table)
             print(f"[{name} finished in {elapsed:.1f}s]\n")
@@ -94,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             obs.disable_tracing()
             obs.disable_noc_profiling()
 
+    print(cache_summary())
     if args.metrics:
         print(obs.METRICS.render())
     return 0

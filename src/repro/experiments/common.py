@@ -1,5 +1,14 @@
 """Shared machinery of the experiment runners: datasets, cached training,
-scheme operating-point selection."""
+scheme operating-point selection.
+
+Training jobs funnel through :func:`repro.experiments.cache.ensure_state`
+(single-flight, read-through), so the same code path serves serial runs,
+``pmap``-sharded lambda grids, and concurrent experiments racing on a shared
+settings key (e.g. the LeNet baseline needed by both Table IV and Table VI).
+Only the winning lambda's weights are materialized in the parent — grid
+points report ``(traffic_rate, lam, accuracy)`` and leave their trained state
+in the artifact cache for the final rebuild.
+"""
 
 from __future__ import annotations
 
@@ -22,13 +31,14 @@ from ..models.factory import (
     build_table3_convnet,
 )
 from ..nn.network import Sequential
+from ..parallel import pmap
 from ..partition.plan import ModelParallelPlan
 from ..partition.sparsified import build_sparsified_plan
 from ..sim.engine import InferenceSimulator, SimConfig
 from ..sim.results import SimulationResult
 from ..train.sparsify import SparsifyConfig, train_sparsified
 from ..train.trainer import Trainer
-from .cache import load_state, save_state, settings_key
+from .cache import ensure_state, settings_key
 from .config import ExperimentProfile
 
 __all__ = [
@@ -82,7 +92,12 @@ def train_baseline(
     dataset: SyntheticImageDataset | None = None,
     **build_kwargs,
 ) -> tuple[Sequential, float]:
-    """Train (or load from cache) the dense baseline of a benchmark network."""
+    """Train (or load from cache) the dense baseline of a benchmark network.
+
+    Single-flight across processes: when parallel experiments race on the
+    same baseline (Table IV and Table VI both need LeNet's), exactly one
+    trains and the rest load its artifact.
+    """
     dataset = dataset or dataset_for(network, profile)
     model = build_network(network, seed=profile.seed, **build_kwargs)
     key = settings_key(
@@ -96,13 +111,14 @@ def train_baseline(
             "build": sorted(build_kwargs.items()),
         },
     )
-    state = load_state(key)
-    if state is not None:
-        model.load_state_dict(state)
-        model.eval()
-    else:
+
+    def train() -> dict[str, np.ndarray]:
         Trainer(model, profile.baseline).fit(dataset)
-        save_state(key, model.state_dict())
+        return model.state_dict()
+
+    state = ensure_state(key, train)
+    model.load_state_dict(state)
+    model.eval()
     return model, model.accuracy(dataset.x_test, dataset.y_test)
 
 
@@ -122,6 +138,86 @@ def simulator_for(num_cores: int, sim_config: SimConfig | None = None) -> Infere
     return InferenceSimulator(ChipConfig.table2(num_cores), sim_config)
 
 
+@dataclass(frozen=True)
+class _GridPoint:
+    """One lambda-grid training job; picklable so ``pmap`` can ship it."""
+
+    network: str
+    scheme: str
+    num_cores: int
+    profile: ExperimentProfile
+    lam: float
+    dataset: SyntheticImageDataset
+    baseline_plan: ModelParallelPlan
+    build_kwargs: tuple[tuple[str, object], ...]
+
+
+def _grid_point_key(point: _GridPoint, model_name: str) -> str:
+    """Settings key of one (scheme, lambda) training run.
+
+    Layout is identical to the pre-parallel runner, so existing cache
+    artifacts stay valid.
+    """
+    profile = point.profile
+    return settings_key(
+        f"{point.scheme}-{model_name}-c{point.num_cores}",
+        {
+            "profile": profile.name,
+            "lam": point.lam,
+            "sparsify": asdict(profile.sparsify),
+            "finetune": asdict(profile.finetune),
+            "prune": profile.prune_rms_threshold,
+            "train_size": profile.train_size,
+            "dataset": point.dataset.name,
+            "seed": profile.seed,
+            "build": sorted(point.build_kwargs),
+        },
+    )
+
+
+def _grid_point_state(point: _GridPoint, model: Sequential) -> dict[str, np.ndarray]:
+    """Trained weights for one grid point: cache hit or single-flight train."""
+
+    def train() -> dict[str, np.ndarray]:
+        base_model, _ = train_baseline(
+            point.network, point.profile, dataset=point.dataset,
+            **dict(point.build_kwargs),
+        )
+        model.load_state_dict(base_model.state_dict())
+        train_sparsified(
+            model,
+            point.dataset,
+            point.num_cores,
+            point.scheme,
+            SparsifyConfig(
+                lam_g=point.lam,
+                sparsify=point.profile.sparsify,
+                finetune=point.profile.finetune,
+                prune_rms_threshold=point.profile.prune_rms_threshold,
+            ),
+        )
+        return model.state_dict()
+
+    return ensure_state(_grid_point_key(point, model.name), train)
+
+
+def _run_grid_point(point: _GridPoint) -> tuple[float, float, float]:
+    """Evaluate one lambda: ``(traffic_rate, lam, accuracy)``.
+
+    The trained state stays in the artifact cache (not the return value), so
+    a wide grid holds at most one state dict in memory at a time — the parent
+    reloads only the winner.
+    """
+    model = build_network(
+        point.network, seed=point.profile.seed, **dict(point.build_kwargs)
+    )
+    model.load_state_dict(_grid_point_state(point, model))
+    model.eval()
+    acc = model.accuracy(point.dataset.x_test, point.dataset.y_test)
+    plan = build_sparsified_plan(model, point.num_cores, scheme=point.scheme)
+    return plan.traffic_rate_vs(point.baseline_plan), point.lam, acc
+
+
 def run_sparsified_scheme(
     network: str,
     scheme: str,
@@ -129,6 +225,7 @@ def run_sparsified_scheme(
     profile: ExperimentProfile,
     baseline_plan: ModelParallelPlan,
     dataset: SyntheticImageDataset | None = None,
+    workers: int | None = None,
     **build_kwargs,
 ) -> SchemeOutcome:
     """Train a scheme across the profile's lambda grid and pick its operating point.
@@ -138,63 +235,40 @@ def run_sparsified_scheme(
     dense baseline; among admissible points the one with the least NoC
     traffic wins.  Falls back to the weakest lambda when nothing is
     admissible (reported as-is rather than hidden).
+
+    Grid points are independent train-or-load jobs, sharded across worker
+    processes by :func:`repro.parallel.pmap`; ``workers=1`` (or unset without
+    ``$REPRO_WORKERS``) runs them serially in-process.
     """
     dataset = dataset or dataset_for(network, profile)
     base_model, base_acc = train_baseline(
         network, profile, dataset=dataset, **build_kwargs
     )
-    base_state = base_model.state_dict()
     simulator = simulator_for(num_cores)
 
-    candidates: list[tuple[float, float, float]] = []  # (traffic_rate, lam, acc)
-    states: dict[float, dict[str, np.ndarray]] = {}
-    for lam in profile.lam_grid:
-        model = build_network(network, seed=profile.seed, **build_kwargs)
-        key = settings_key(
-            f"{scheme}-{model.name}-c{num_cores}",
-            {
-                "profile": profile.name,
-                "lam": lam,
-                "sparsify": asdict(profile.sparsify),
-                "finetune": asdict(profile.finetune),
-                "prune": profile.prune_rms_threshold,
-                "train_size": profile.train_size,
-                "dataset": dataset.name,
-                "seed": profile.seed,
-                "build": sorted(build_kwargs.items()),
-            },
+    points = [
+        _GridPoint(
+            network=network,
+            scheme=scheme,
+            num_cores=num_cores,
+            profile=profile,
+            lam=lam,
+            dataset=dataset,
+            baseline_plan=baseline_plan,
+            build_kwargs=tuple(sorted(build_kwargs.items())),
         )
-        state = load_state(key)
-        if state is not None:
-            model.load_state_dict(state)
-            model.eval()
-            acc = model.accuracy(dataset.x_test, dataset.y_test)
-        else:
-            model.load_state_dict(base_state)
-            res = train_sparsified(
-                model,
-                dataset,
-                num_cores,
-                scheme,
-                SparsifyConfig(
-                    lam_g=lam,
-                    sparsify=profile.sparsify,
-                    finetune=profile.finetune,
-                    prune_rms_threshold=profile.prune_rms_threshold,
-                ),
-            )
-            acc = res.accuracy
-            save_state(key, model.state_dict())
-        plan = build_sparsified_plan(model, num_cores, scheme=scheme)
-        rate = plan.traffic_rate_vs(baseline_plan)
-        candidates.append((rate, lam, acc))
-        states[lam] = model.state_dict()
+        for lam in profile.lam_grid
+    ]
+    candidates = pmap(
+        _run_grid_point, points, workers=workers, label=f"lam_grid.{scheme}"
+    )
 
     admissible = [c for c in candidates if c[2] >= base_acc - profile.accuracy_tolerance]
     rate, lam, acc = min(admissible) if admissible else candidates[0]
 
+    winner = points[[p.lam for p in points].index(lam)]
     model = build_network(network, seed=profile.seed, **build_kwargs)
-    model.load_state_dict(states[lam])
+    model.load_state_dict(_grid_point_state(winner, model))
     model.eval()
     plan = build_sparsified_plan(model, num_cores, scheme=scheme)
     result = simulator.simulate(plan)

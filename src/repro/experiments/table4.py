@@ -10,9 +10,11 @@ NoC traffic rate, system speedup, and NoC energy reduction.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..analysis.tables import render_table
+from ..parallel import pmap
 from ..partition.sparsified import build_sparsified_plan
 from .common import (
     TABLE4_NETWORKS,
@@ -65,6 +67,7 @@ def run_network(
     network: str,
     profile: ExperimentProfile = PAPER,
     num_cores: int = 16,
+    workers: int | None = None,
 ) -> list[Table4Row]:
     """Baseline / SS / SS_Mask rows for one network."""
     dataset = dataset_for(network, profile)
@@ -81,7 +84,8 @@ def run_network(
     ]
     for scheme in ("ss", "ss_mask"):
         outcome = run_sparsified_scheme(
-            network, scheme, num_cores, profile, base_plan, dataset=dataset
+            network, scheme, num_cores, profile, base_plan,
+            dataset=dataset, workers=workers,
         )
         rows.append(
             Table4Row(
@@ -101,11 +105,16 @@ def run_table4(
     profile: ExperimentProfile = PAPER,
     num_cores: int = 16,
     networks: tuple[str, ...] = TABLE4_NETWORKS,
+    workers: int | None = None,
 ) -> list[Table4Row]:
-    rows: list[Table4Row] = []
-    for network in networks:
-        rows.extend(run_network(network, profile, num_cores))
-    return rows
+    """All networks' rows; each network is an independent ``pmap`` job."""
+    per_network = pmap(
+        functools.partial(run_network, profile=profile, num_cores=num_cores),
+        networks,
+        workers=workers,
+        label="table4.networks",
+    )
+    return [row for rows in per_network for row in rows]
 
 
 def render_table4(rows: list[Table4Row]) -> str:

@@ -10,10 +10,12 @@ benefit stays roughly steady.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..analysis.tables import render_table
 from ..models.spec import NetworkSpec
+from ..parallel import pmap
 from ..partition.traditional import build_traditional_plan
 from .common import dataset_for, simulator_for, train_baseline
 from .config import ExperimentProfile, PAPER
@@ -37,10 +39,8 @@ class Table5Row:
     paper_speedup: float | None
 
 
-def run_table5(
-    profile: ExperimentProfile = PAPER,
-    core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
-) -> list[Table5Row]:
+def _run_core_count(cores: int, profile: ExperimentProfile) -> Table5Row:
+    """One chip size's row — an independent train-or-load + simulate job."""
     dataset = dataset_for("table3", profile)
     # The traditional-mapping baseline is geometry-only (Table V reports no
     # baseline accuracy), so the ungrouped wide model needs no training —
@@ -50,31 +50,38 @@ def run_table5(
     base_spec = NetworkSpec.from_sequential(
         build_table3_convnet(groups=1, wide=True, seed=profile.seed)
     )
+    model, accuracy = train_baseline(
+        "table3", profile, dataset=dataset, groups=cores, wide=True
+    )
+    spec = NetworkSpec.from_sequential(model)
+    simulator = simulator_for(cores)
+    base_result = simulator.simulate(build_traditional_plan(base_spec, cores))
+    result = simulator.simulate(
+        build_traditional_plan(spec, cores, scheme="structure")
+    )
+    paper = PAPER_TABLE5.get(cores)
+    return Table5Row(
+        cores=cores,
+        groups=cores,
+        accuracy=accuracy,
+        speedup=result.speedup_vs(base_result),
+        comm_energy_reduction=result.comm_energy_reduction_vs(base_result),
+        paper_accuracy=paper[0] if paper else None,
+        paper_speedup=paper[1] if paper else None,
+    )
 
-    rows = []
-    for cores in core_counts:
-        model, accuracy = train_baseline(
-            "table3", profile, dataset=dataset, groups=cores, wide=True
-        )
-        spec = NetworkSpec.from_sequential(model)
-        simulator = simulator_for(cores)
-        base_result = simulator.simulate(build_traditional_plan(base_spec, cores))
-        result = simulator.simulate(
-            build_traditional_plan(spec, cores, scheme="structure")
-        )
-        paper = PAPER_TABLE5.get(cores)
-        rows.append(
-            Table5Row(
-                cores=cores,
-                groups=cores,
-                accuracy=accuracy,
-                speedup=result.speedup_vs(base_result),
-                comm_energy_reduction=result.comm_energy_reduction_vs(base_result),
-                paper_accuracy=paper[0] if paper else None,
-                paper_speedup=paper[1] if paper else None,
-            )
-        )
-    return rows
+
+def run_table5(
+    profile: ExperimentProfile = PAPER,
+    core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
+    workers: int | None = None,
+) -> list[Table5Row]:
+    return pmap(
+        functools.partial(_run_core_count, profile=profile),
+        core_counts,
+        workers=workers,
+        label="table5.cores",
+    )
 
 
 def render_table5(rows: list[Table5Row]) -> str:

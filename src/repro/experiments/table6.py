@@ -8,7 +8,10 @@ easier to prune; the NoC gets relatively more congested).
 
 from __future__ import annotations
 
+import functools
+
 from ..analysis.tables import render_table
+from ..parallel import pmap
 from ..partition.sparsified import build_sparsified_plan
 from .common import dataset_for, run_sparsified_scheme, simulator_for, train_baseline
 from .config import ExperimentProfile, PAPER
@@ -33,40 +36,53 @@ PAPER_TABLE6 = {
 DEFAULT_CORE_COUNTS = (8, 32)
 
 
+def _run_core_count(cores: int, profile: ExperimentProfile) -> list[Table4Row]:
+    """LeNet baseline/SS/SS_Mask rows for one chip size."""
+    dataset = dataset_for("lenet", profile)
+    base_model, base_acc = train_baseline("lenet", profile, dataset=dataset)
+    base_plan = build_sparsified_plan(base_model, cores, scheme="baseline")
+    base_result = simulator_for(cores).simulate(base_plan)
+    rows = [
+        Table4Row(
+            network="lenet", scheme="baseline", accuracy=base_acc,
+            traffic_rate=1.0, speedup=1.0, energy_reduction=0.0, lam=0.0,
+        )
+    ]
+    for scheme in ("ss", "ss_mask"):
+        outcome = run_sparsified_scheme(
+            "lenet", scheme, cores, profile, base_plan, dataset=dataset
+        )
+        rows.append(
+            Table4Row(
+                network="lenet",
+                scheme=scheme,
+                accuracy=outcome.accuracy,
+                traffic_rate=outcome.plan.traffic_rate_vs(base_plan),
+                speedup=outcome.result.speedup_vs(base_result),
+                energy_reduction=outcome.result.comm_energy_reduction_vs(base_result),
+                lam=outcome.lam,
+            )
+        )
+    return rows
+
+
 def run_table6(
     profile: ExperimentProfile = PAPER,
     core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
+    workers: int | None = None,
 ) -> dict[int, list[Table4Row]]:
-    """LeNet baseline/SS/SS_Mask rows per core count."""
-    dataset = dataset_for("lenet", profile)
-    results: dict[int, list[Table4Row]] = {}
-    for cores in core_counts:
-        base_model, base_acc = train_baseline("lenet", profile, dataset=dataset)
-        base_plan = build_sparsified_plan(base_model, cores, scheme="baseline")
-        base_result = simulator_for(cores).simulate(base_plan)
-        rows = [
-            Table4Row(
-                network="lenet", scheme="baseline", accuracy=base_acc,
-                traffic_rate=1.0, speedup=1.0, energy_reduction=0.0, lam=0.0,
-            )
-        ]
-        for scheme in ("ss", "ss_mask"):
-            outcome = run_sparsified_scheme(
-                "lenet", scheme, cores, profile, base_plan, dataset=dataset
-            )
-            rows.append(
-                Table4Row(
-                    network="lenet",
-                    scheme=scheme,
-                    accuracy=outcome.accuracy,
-                    traffic_rate=outcome.plan.traffic_rate_vs(base_plan),
-                    speedup=outcome.result.speedup_vs(base_result),
-                    energy_reduction=outcome.result.comm_energy_reduction_vs(base_result),
-                    lam=outcome.lam,
-                )
-            )
-        results[cores] = rows
-    return results
+    """LeNet baseline/SS/SS_Mask rows per core count (one pmap job each).
+
+    The shared LeNet baseline is raced through the single-flight cache: the
+    first core count's worker trains it, the others load the artifact.
+    """
+    per_cores = pmap(
+        functools.partial(_run_core_count, profile=profile),
+        core_counts,
+        workers=workers,
+        label="table6.cores",
+    )
+    return dict(zip(core_counts, per_cores))
 
 
 def render_table6(results: dict[int, list[Table4Row]]) -> str:

@@ -21,12 +21,15 @@ not this table's.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
 
 from ..analysis.pareto import pareto_flags
 from ..analysis.tables import render_table
+from ..models.spec import NetworkSpec
 from ..models.zoo import get_spec
-from ..serve.cluster import Cluster, build_spec_cluster
+from ..parallel import pmap
+from ..serve.cluster import build_spec_cluster
 from ..serve.scheduler import make_scheduler
 from ..serve.simulator import simulate_serving
 from ..serve.slo import SLO
@@ -73,6 +76,65 @@ def _configurations(
     return configs
 
 
+def _config_latency(config: tuple[str, int], spec: NetworkSpec, num_cores: int) -> int:
+    """Unloaded latency of one (scheme, group-size) cluster.
+
+    Building the cluster simulates its plans once; run in a worker this also
+    warms the persistent drain-time memo, so the sweep stage's rebuild is a
+    disk cache hit.
+    """
+    scheme, g = config
+    cluster = build_spec_cluster(spec, num_cores, g, scheme=scheme)
+    return cluster.unloaded_latency(spec.name)
+
+
+def _config_rows(
+    config: tuple[str, int],
+    spec: NetworkSpec,
+    num_cores: int,
+    base_rate: float,
+    slo_cycles: int,
+    load_factors: tuple[float, ...],
+    num_requests: int,
+    scheduler: str,
+    seed: int,
+) -> list[TableS1Row]:
+    """All load points of one (scheme, group-size) configuration."""
+    scheme, g = config
+    cluster = build_spec_cluster(spec, num_cores, g, scheme=scheme)
+    slo = SLO(target_cycles=slo_cycles, name="tableS1")
+    rows: list[TableS1Row] = []
+    for factor in load_factors:
+        rate = factor * base_rate
+        workload = PoissonWorkload(
+            rate_per_megacycle=rate,
+            num_requests=num_requests,
+            seed=seed + 1000 * int(factor * 100),
+            mix={spec.name: 1.0},
+        )
+        _, report = simulate_serving(
+            cluster, make_scheduler(scheduler), workload, slo=slo
+        )
+        assert report is not None
+        rows.append(
+            TableS1Row(
+                scheme=scheme,
+                group_cores=g,
+                replicas=cluster.num_groups,
+                load_factor=factor,
+                rate_per_megacycle=rate,
+                p50=report.p50,
+                p99=report.p99,
+                throughput=report.throughput_per_megacycle,
+                goodput=report.goodput_per_megacycle,
+                violation_rate=report.violation_rate,
+                utilization=report.utilization,
+                pareto=False,
+            )
+        )
+    return rows
+
+
 def run_tableS1(
     profile: ExperimentProfile = PAPER,
     num_cores: int = 16,
@@ -83,6 +145,7 @@ def run_tableS1(
     scheduler: str = "fifo",
     slo_factor: float = 2.0,
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[TableS1Row]:
     """Sweep arrival rate x scheme x replica-group size on one chip.
 
@@ -92,6 +155,11 @@ def run_tableS1(
     ``slo_factor`` x the *slowest* configuration's unloaded latency — is the
     loosest target every configuration can meet when idle, making goodput
     comparable across them.
+
+    Two ``pmap`` stages: every configuration's unloaded latency first (the
+    SLO needs the global maximum), then every configuration's load points.
+    Within one process the second stage's cluster rebuild hits the in-process
+    service memo; across processes it hits the persistent drain-time cache.
     """
     fast = profile.name == "fast"
     if load_factors is None:
@@ -100,52 +168,45 @@ def run_tableS1(
         num_requests = 150 if fast else 600
 
     spec = get_spec(SERVE_NETWORK)
-    clusters: dict[tuple[str, int], Cluster] = {
-        (scheme, g): build_spec_cluster(spec, num_cores, g, scheme=scheme)
-        for scheme, g in _configurations(schemes, group_sizes)
-    }
+    configs = _configurations(schemes, group_sizes)
     # One full-chip traditional replica is the rate yardstick.
-    yardstick = clusters.get(("traditional", num_cores)) or build_spec_cluster(
-        spec, num_cores, num_cores, scheme="traditional"
+    yardstick_config = ("traditional", num_cores)
+    latency_configs = configs + (
+        [] if yardstick_config in configs else [yardstick_config]
     )
-    base_rate = 1e6 / yardstick.unloaded_latency(spec.name)
-    slo = SLO(
-        target_cycles=int(
-            slo_factor * max(c.unloaded_latency(spec.name) for c in clusters.values())
-        ),
-        name="tableS1",
+    latencies = dict(
+        zip(
+            latency_configs,
+            pmap(
+                functools.partial(
+                    _config_latency, spec=spec, num_cores=num_cores
+                ),
+                latency_configs,
+                workers=workers,
+                label="tableS1.latency",
+            ),
+        )
     )
+    base_rate = 1e6 / latencies[yardstick_config]
+    slo_cycles = int(slo_factor * max(latencies[c] for c in configs))
 
-    rows: list[TableS1Row] = []
-    for (scheme, g), cluster in clusters.items():
-        for factor in load_factors:
-            rate = factor * base_rate
-            workload = PoissonWorkload(
-                rate_per_megacycle=rate,
-                num_requests=num_requests,
-                seed=seed + 1000 * int(factor * 100),
-                mix={spec.name: 1.0},
-            )
-            _, report = simulate_serving(
-                cluster, make_scheduler(scheduler), workload, slo=slo
-            )
-            assert report is not None
-            rows.append(
-                TableS1Row(
-                    scheme=scheme,
-                    group_cores=g,
-                    replicas=cluster.num_groups,
-                    load_factor=factor,
-                    rate_per_megacycle=rate,
-                    p50=report.p50,
-                    p99=report.p99,
-                    throughput=report.throughput_per_megacycle,
-                    goodput=report.goodput_per_megacycle,
-                    violation_rate=report.violation_rate,
-                    utilization=report.utilization,
-                    pareto=False,
-                )
-            )
+    per_config = pmap(
+        functools.partial(
+            _config_rows,
+            spec=spec,
+            num_cores=num_cores,
+            base_rate=base_rate,
+            slo_cycles=slo_cycles,
+            load_factors=tuple(load_factors),
+            num_requests=num_requests,
+            scheduler=scheduler,
+            seed=seed,
+        ),
+        configs,
+        workers=workers,
+        label="tableS1.sweep",
+    )
+    rows = [row for rows_ in per_config for row in rows_]
 
     # The frontier is computed within each scheme: geometry-only structure
     # pays no accuracy cost here, so a global frontier would trivially be

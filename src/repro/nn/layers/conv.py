@@ -112,7 +112,10 @@ class Conv2D(Layer):
         cout_g = self.out_channels // g
 
         out = np.empty((n, self.out_channels, out_h, out_w), dtype=np.float64)
-        cols_per_group: list[np.ndarray] = []
+        # The im2col column matrices are the largest allocations in training;
+        # they are only needed again by backward, so eval-mode forwards drop
+        # each one as soon as its group's GEMM is done.
+        cols_per_group: list[np.ndarray] | None = [] if self.training else None
         for gi in range(g):
             xg = x[:, gi * cin_g:(gi + 1) * cin_g]
             cols = im2col(xg, self.kernel_h, self.kernel_w, self.stride, self.padding)
@@ -121,18 +124,27 @@ class Conv2D(Layer):
             out[:, gi * cout_g:(gi + 1) * cout_g] = (
                 og.reshape(n, out_h, out_w, cout_g).transpose(0, 3, 1, 2)
             )
-            cols_per_group.append(cols)
+            if cols_per_group is not None:
+                cols_per_group.append(cols)
 
         if self.bias is not None:
             out += self.bias.data.reshape(1, -1, 1, 1)
 
-        self._cache = (x.shape, cols_per_group, out_h, out_w)
+        self._cache = (
+            (x.shape, cols_per_group, out_h, out_w) if self.training else None
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
+            raise RuntimeError(
+                f"{self.name}: backward called before a training-mode forward"
+            )
         x_shape, cols_per_group, out_h, out_w = self._cache
+        # Free the cached im2col buffers as soon as this pass consumes them:
+        # they would otherwise pin the largest training allocations until the
+        # next forward.
+        self._cache = None
         n = x_shape[0]
         g = self.groups
         cin_g = self.in_channels // g
@@ -146,11 +158,13 @@ class Conv2D(Layer):
             go = grad_out[:, gi * cout_g:(gi + 1) * cout_g]
             go_mat = go.transpose(0, 2, 3, 1).reshape(-1, cout_g)
             cols = cols_per_group[gi]
+            cols_per_group[gi] = None  # weight grad below is its last use
 
             wg4 = self.weight.data[gi * cout_g:(gi + 1) * cout_g]
             self.weight.grad[gi * cout_g:(gi + 1) * cout_g] += (
                 (go_mat.T @ cols).reshape(cout_g, cin_g, self.kernel_h, self.kernel_w)
             )
+            del cols
 
             if self.stride == 1 and self.kernel_h == self.kernel_w:
                 # Transposed convolution: grad_in is the correlation of

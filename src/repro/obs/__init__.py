@@ -24,6 +24,7 @@ from .nocprof import (
     NoCProfile,
     disable_noc_profiling,
     enable_noc_profiling,
+    merge_profile_dict,
     noc_profiling_enabled,
 )
 from .trace import (
@@ -54,6 +55,7 @@ __all__ = [
     "enable_noc_profiling",
     "disable_noc_profiling",
     "noc_profiling_enabled",
+    "merge_profile_dict",
     "export_trace",
 ]
 

@@ -97,6 +97,31 @@ class MetricsRegistry:
                 },
             }
 
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is the cross-process half of the registry: worker processes ship
+        their snapshot (their delta — workers start from an empty registry)
+        back to the parent, which merges them so a parallel run's metrics read
+        exactly like a serial run's.  Counters and histogram counts/totals add
+        exactly; a merged histogram's min/max are the elementwise extrema;
+        gauges take the incoming value (last writer wins, as within a process).
+        """
+        with self._lock:
+            for k, v in snap.get("counters", {}).items():
+                self._counters[k] = self._counters.get(k, 0) + v
+            for k, v in snap.get("gauges", {}).items():
+                self._gauges[k] = v
+            for k, h in snap.get("histograms", {}).items():
+                cur = self._hists.get(k)
+                if cur is None:
+                    self._hists[k] = [h["count"], h["total"], h["min"], h["max"]]
+                else:
+                    cur[0] += h["count"]
+                    cur[1] += h["total"]
+                    cur[2] = min(cur[2], h["min"])
+                    cur[3] = max(cur[3], h["max"])
+
     def reset(self) -> None:
         """Drop every series (tests and fresh CLI runs)."""
         with self._lock:

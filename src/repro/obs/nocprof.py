@@ -163,3 +163,12 @@ def global_profiles() -> list[NoCProfile]:
 
 def clear_profiles() -> None:
     _profiles.clear()
+
+
+def merge_profile_dict(data: dict) -> NoCProfile:
+    """Fold a serialized profile (e.g. shipped back from a worker process)
+    into the global accumulator for its mesh shape."""
+    incoming = NoCProfile.from_dict(data)
+    target = global_profile(incoming.width, incoming.height)
+    target.merge(incoming)
+    return target

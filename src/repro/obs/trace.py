@@ -153,6 +153,37 @@ class TraceCollector:
         with self._lock:
             self._records.append(record)
 
+    # -- cross-process merge -------------------------------------------------------
+
+    def adopt_records(self, records: Iterable[dict[str, Any]], parent_id: int | None = None) -> None:
+        """Merge span records produced by another collector (e.g. a worker
+        process), remapping their ids into this collector's id space.
+
+        Intra-batch parent/child links are preserved; spans that were roots in
+        the source collector (or whose parent is missing from ``records``) are
+        re-parented under ``parent_id``, so a worker's span tree hangs off the
+        span that dispatched the work.
+        """
+        records = list(records)
+        with self._lock:
+            mapping = {rec["id"]: self._next_id + i for i, rec in enumerate(records)}
+            self._next_id += len(records)
+            for rec in records:
+                adopted = dict(rec)
+                adopted["id"] = mapping[rec["id"]]
+                source_parent = rec.get("parent")
+                adopted["parent"] = (
+                    mapping.get(source_parent, parent_id)
+                    if source_parent is not None
+                    else parent_id
+                )
+                self._records.append(adopted)
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span on this thread (None outside spans)."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
     # -- access --------------------------------------------------------------------
 
     def records(self) -> list[dict[str, Any]]:

@@ -1,0 +1,33 @@
+"""``repro.parallel`` — process-pool work sharding for the experiment stack.
+
+Every grid in the reproduction (lambda sweeps, per-network/per-core-count
+table loops, the Table S1 serving sweep, ``run_all`` over experiments) is a
+map over independent train-or-load + simulate jobs.  :func:`pmap` shards such
+a map across worker processes while keeping three invariants:
+
+* **Serial identity** — ``workers=1`` (the default) runs the plain in-process
+  list comprehension, so single-worker results are bit-identical to the
+  pre-parallel code path by construction, and ``workers=N`` jobs are the same
+  deterministic computations merely executed elsewhere.
+* **No nested pools** — a ``pmap`` reached inside a worker process runs
+  serially, so parallelizing an outer loop never fork-bombs the inner ones.
+* **Complete observability** — workers ship their span trees, metric deltas,
+  and NoC-profile accumulators back to the parent, which merges them into the
+  global collector/registry (see :mod:`repro.obs`), so ``--trace`` /
+  ``--metrics`` report a parallel run exactly like a serial one.
+
+Concurrent workers share the ``.repro_cache`` artifact directory; the
+:mod:`repro.parallel.singleflight` lock-file protocol keeps any given cache
+key trained by exactly one process (see ``repro.experiments.cache``).
+"""
+
+from .pool import default_workers, in_worker, pmap, resolve_workers
+from .singleflight import run_single_flight
+
+__all__ = [
+    "pmap",
+    "resolve_workers",
+    "default_workers",
+    "in_worker",
+    "run_single_flight",
+]

@@ -1,0 +1,157 @@
+"""Process-pool ``pmap`` with worker-count resolution and obs round-tripping.
+
+Worker-count resolution order: explicit ``workers=`` argument, then the
+``REPRO_WORKERS`` environment variable, then 1 (serial).  Inside a worker
+process the answer is always 1, so nested ``pmap`` calls degrade to the
+serial path instead of spawning pools-of-pools.
+
+Each parallel task runs through :func:`_run_task`, which isolates the child's
+observability state (fresh metrics registry contents, fresh trace collector,
+cleared NoC profiles) and returns ``(result, obs_payload)``; the parent folds
+every payload back into the process-global collector/registry **in input
+order**, so merged metrics are deterministic for deterministic workloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from ..obs import (
+    METRICS,
+    TraceCollector,
+    enable_tracing,
+    get_collector,
+    merge_profile_dict,
+    noc_profiling_enabled,
+    span,
+    tracing_enabled,
+)
+from ..obs import nocprof
+
+__all__ = ["pmap", "resolve_workers", "default_workers", "in_worker"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Set in every worker process; its presence forces nested pmaps serial.
+_WORKER_ENV = "REPRO_IN_WORKER"
+
+
+def in_worker() -> bool:
+    """True inside a ``pmap`` worker process."""
+    return bool(os.environ.get(_WORKER_ENV))
+
+
+def default_workers() -> int:
+    """The worker count ``pmap`` uses when none is passed (env or 1)."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Effective worker count: explicit arg > ``$REPRO_WORKERS`` > 1.
+
+    Always 1 inside a worker process — an outer pmap owns the pool.
+    """
+    if in_worker():
+        return 1
+    if workers is not None:
+        return max(1, int(workers))
+    return default_workers()
+
+
+def _start_method() -> str:
+    """``fork`` where the platform has it (cheap, inherits warm state);
+    ``spawn`` elsewhere.  ``REPRO_MP_START`` overrides for debugging."""
+    override = os.environ.get("REPRO_MP_START")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _worker_init() -> None:
+    os.environ[_WORKER_ENV] = "1"
+
+
+def _run_task(payload: tuple[Callable[[Any], Any], Any, bool, bool]) -> tuple[Any, dict]:
+    """Child-side wrapper: run one task with isolated observability state.
+
+    The child's registry/collector/profiles start empty for each task (a pool
+    worker serves many tasks; with the fork start method it also inherits the
+    parent's accumulated state), so what ships back is exactly this task's
+    delta.
+    """
+    fn, item, tracing, profiling = payload
+    METRICS.reset()
+    nocprof.clear_profiles()
+    collector: TraceCollector | None = None
+    if tracing:
+        collector = enable_tracing(TraceCollector())
+    if profiling:
+        nocprof.enable_noc_profiling()
+    result = fn(item)
+    obs_payload = {
+        "metrics": METRICS.snapshot(),
+        "spans": collector.records() if collector is not None else [],
+        "noc_profiles": [p.to_dict() for p in nocprof.global_profiles()],
+    }
+    return result, obs_payload
+
+
+def _merge_obs(obs_payload: dict, parent_span_id: int | None) -> None:
+    METRICS.merge_snapshot(obs_payload["metrics"])
+    if obs_payload["spans"]:
+        get_collector().adopt_records(obs_payload["spans"], parent_id=parent_span_id)
+    for profile in obs_payload["noc_profiles"]:
+        merge_profile_dict(profile)
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+    label: str | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, sharded across worker processes.
+
+    Results come back in input order.  ``fn`` and every item must be
+    picklable (module-level functions, ``functools.partial`` of them, plain
+    dataclasses).  With an effective worker count of 1 — the default — this
+    is exactly ``[fn(item) for item in items]`` in the calling process.
+
+    A task that raises propagates its exception to the caller; observability
+    payloads of tasks completed before the failure are still merged.
+    """
+    items = list(items)
+    n = min(resolve_workers(workers), max(1, len(items)))
+    if n <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    name = label or getattr(fn, "__name__", None) or type(fn).__name__
+    METRICS.inc("parallel.pmap.pools", pool=name)
+    METRICS.inc("parallel.pmap.tasks", len(items), pool=name)
+    tracing = tracing_enabled()
+    profiling = noc_profiling_enabled()
+    payloads: Sequence[tuple] = [(fn, item, tracing, profiling) for item in items]
+    with span("pmap", pool=name, workers=n, tasks=len(items)):
+        parent_span_id = get_collector().current_span_id() if tracing else None
+        ctx = multiprocessing.get_context(_start_method())
+        results: list[R] = []
+        with ProcessPoolExecutor(
+            max_workers=n, mp_context=ctx, initializer=_worker_init
+        ) as executor:
+            try:
+                for result, obs_payload in executor.map(_run_task, payloads):
+                    _merge_obs(obs_payload, parent_span_id)
+                    results.append(result)
+            except BaseException:
+                METRICS.inc("parallel.pmap.failed", pool=name)
+                raise
+        return results

@@ -7,8 +7,10 @@ replica-group layout and prints the run summary plus the SLO report::
         --scheme structure --scheduler batch --rate 40 --requests 200
 
 ``--sweep`` instead runs the Table S1 arrival-rate x scheme x group-size
-sweep and prints the latency-throughput Pareto table.  ``--trace`` /
-``--metrics`` behave exactly like ``repro-experiments``: spans + metrics
+sweep and prints the latency-throughput Pareto table; ``--workers N``
+shards its configurations across worker processes (output is byte-identical
+to serial).  ``--trace`` / ``--metrics`` behave exactly like
+``repro-experiments``: spans + metrics
 (+ NoC profiles, when any plan needed fresh cycle-level drains) go to a
 JSONL file summarizable with ``scripts/report_trace.py``.
 """
@@ -19,6 +21,7 @@ import argparse
 import sys
 
 from .. import obs
+from ..cli import add_workers_flag, apply_workers
 from ..models.zoo import SPEC_BUILDERS, get_spec
 from .cluster import build_spec_cluster
 from .scheduler import SCHEDULERS, make_scheduler
@@ -97,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the metrics snapshot after the run",
     )
+    add_workers_flag(parser)
     return parser
 
 
@@ -159,6 +163,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         slo_factor=args.slo_factor,
         seed=args.seed,
+        workers=args.workers,
     )
     print(render_tableS1(rows))
     return 0
@@ -167,6 +172,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    apply_workers(args.workers)
     if args.cores % args.group_cores:
         parser.error(
             f"--group-cores {args.group_cores} does not tile --cores {args.cores}"

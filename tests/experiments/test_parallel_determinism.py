@@ -1,0 +1,54 @@
+"""Parallel runs must render byte-identical tables to serial runs.
+
+The core guarantee of ``repro.parallel``: worker count is a throughput knob,
+never an output knob.  Both comparisons run cold (fresh cache directories for
+each worker count), so parallelism is exercised on the compute path, not just
+on cache reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cache import clear_memo
+from repro.experiments.config import FAST
+from repro.experiments.runner import run_all
+from repro.experiments.table4 import render_table4, run_table4
+
+CHEAP_EXPERIMENTS = ("table1", "motivation", "ablation-mapping")
+
+# FAST's single-point lambda grid would leave the grid pmap serial; two
+# points make the parallel run genuinely train in separate processes.
+FAST_GRID2 = dataclasses.replace(FAST, lam_grid=(0.05, 0.1))
+
+
+@pytest.fixture
+def fresh_cache_factory(tmp_path, monkeypatch):
+    def use(name: str):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / name))
+        clear_memo()
+
+    return use
+
+
+class TestRunAllDeterminism:
+    def test_workers_4_matches_serial(self, fresh_cache_factory):
+        fresh_cache_factory("serial")
+        serial = run_all(FAST, names=CHEAP_EXPERIMENTS, workers=1)
+        fresh_cache_factory("parallel")
+        parallel = run_all(FAST, names=CHEAP_EXPERIMENTS, workers=4)
+        assert serial == parallel  # byte-identical rendered tables
+
+
+class TestTrainingGridDeterminism:
+    def test_table4_mlp_workers_2_matches_serial(self, fresh_cache_factory):
+        # Cold in both cache dirs: the lambda-grid training itself runs under
+        # pmap in the parallel case, and must land on identical weights,
+        # accuracy, and selected operating point.
+        fresh_cache_factory("serial")
+        serial = render_table4(run_table4(FAST_GRID2, networks=("mlp",), workers=1))
+        fresh_cache_factory("parallel")
+        parallel = render_table4(run_table4(FAST_GRID2, networks=("mlp",), workers=2))
+        assert serial == parallel

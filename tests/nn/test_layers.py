@@ -69,6 +69,41 @@ class TestConv2D:
         x = rng.normal(size=(2, 2, 4, 4))
         check_param_gradient(conv, x, conv.weight)
 
+
+class TestConv2DCacheLifecycle:
+    """The im2col buffers are training's largest allocations; eval-mode
+    forwards must not retain them and backward must release them."""
+
+    def test_eval_forward_caches_nothing(self, rng):
+        conv = Conv2D(2, 4, 3, rng=rng)
+        conv.eval()
+        conv.forward(rng.normal(size=(2, 2, 6, 6)))
+        assert conv._cache is None
+
+    def test_eval_and_train_forward_agree(self, rng):
+        conv = Conv2D(2, 4, 3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        out_train = conv.forward(x)
+        conv.eval()
+        out_eval = conv.forward(x)
+        np.testing.assert_array_equal(out_train, out_eval)
+
+    def test_backward_releases_cache(self, rng):
+        conv = Conv2D(2, 4, 3, rng=rng)
+        out = conv.forward(rng.normal(size=(2, 2, 6, 6)))
+        conv.zero_grad()
+        conv.backward(np.ones_like(out))
+        assert conv._cache is None
+        with pytest.raises(RuntimeError, match="training-mode forward"):
+            conv.backward(np.ones_like(out))
+
+    def test_backward_after_eval_forward_raises(self, rng):
+        conv = Conv2D(2, 4, 3, rng=rng)
+        conv.eval()
+        out = conv.forward(rng.normal(size=(2, 2, 6, 6)))
+        with pytest.raises(RuntimeError, match="training-mode forward"):
+            conv.backward(np.ones_like(out))
+
     def test_bias_gradient(self, rng):
         conv = Conv2D(2, 3, 3, rng=rng)
         x = rng.normal(size=(2, 2, 4, 4))

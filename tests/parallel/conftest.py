@@ -1,0 +1,25 @@
+"""Parallel-runner tests touch process-global obs state; restore it each test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments.cache import clear_memo
+
+
+@pytest.fixture(autouse=True)
+def clean_parallel_state(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_IN_WORKER", raising=False)
+    obs.disable_tracing()
+    obs.get_collector().clear()
+    obs.nocprof.disable_noc_profiling()
+    obs.nocprof.clear_profiles()
+    clear_memo()
+    yield
+    obs.disable_tracing()
+    obs.get_collector().clear()
+    obs.nocprof.disable_noc_profiling()
+    obs.nocprof.clear_profiles()
+    clear_memo()

@@ -1,0 +1,127 @@
+"""pmap: ordering, serial fallback, nesting, error propagation, obs merge."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import METRICS
+from repro.parallel import default_workers, in_worker, pmap, resolve_workers
+from repro.parallel.pool import _WORKER_ENV
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _pid_of(_: int) -> int:
+    return os.getpid()
+
+
+def _boom(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"task {x} exploded")
+    return x
+
+
+def _nested_view(_: int) -> tuple[bool, int, list[int]]:
+    """What a task launched by an outer pmap sees when it pmaps again."""
+    inner = pmap(_pid_of, range(3), workers=4)
+    return in_worker(), resolve_workers(4), inner
+
+
+def _traced_task(x: int) -> int:
+    METRICS.inc("test.pool.work")
+    with obs.span("child_work", item=x):
+        pass
+    return x
+
+
+class TestWorkerResolution:
+    def test_default_is_serial(self):
+        assert default_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert default_workers() == 6
+        assert resolve_workers(None) == 6
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert resolve_workers(2) == 2
+
+    def test_garbage_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert resolve_workers(None) == 1
+
+    def test_worker_marker_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(_WORKER_ENV, "1")
+        assert in_worker()
+        assert resolve_workers(8) == 1
+
+
+class TestPmap:
+    def test_results_in_input_order(self):
+        assert pmap(_square, range(8), workers=2) == [x * x for x in range(8)]
+
+    def test_serial_path_runs_in_process(self):
+        METRICS.reset()
+        pids = pmap(_pid_of, range(3), workers=1)
+        assert set(pids) == {os.getpid()}
+        assert "parallel.pmap.pools{pool=_pid_of}" not in METRICS.snapshot()["counters"]
+
+    def test_parallel_path_uses_other_processes(self):
+        pids = pmap(_pid_of, range(8), workers=2)
+        assert os.getpid() not in pids
+        assert 1 <= len(set(pids)) <= 2
+
+    def test_single_item_stays_serial(self):
+        assert pmap(_pid_of, [0], workers=4) == [os.getpid()]
+
+    def test_nested_pmap_degrades_to_serial(self):
+        for marked, effective, inner_pids in pmap(_nested_view, range(2), workers=2):
+            # Inside a worker the marker is set, any requested count resolves
+            # to 1, and the nested pmap ran in the worker's own process.
+            assert marked is True
+            assert effective == 1
+            assert len(set(inner_pids)) == 1
+            assert os.getpid() not in inner_pids
+
+    def test_exception_propagates(self):
+        METRICS.reset()
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            pmap(_boom, range(6), workers=2, label="boom")
+        assert METRICS.counter("parallel.pmap.failed", pool="boom") == 1
+
+    def test_pool_metrics(self):
+        METRICS.reset()
+        pmap(_square, range(5), workers=2, label="sq")
+        assert METRICS.counter("parallel.pmap.pools", pool="sq") == 1
+        assert METRICS.counter("parallel.pmap.tasks", pool="sq") == 5
+
+
+class TestObsMerge:
+    def test_worker_metrics_fold_into_parent(self):
+        METRICS.reset()
+        pmap(_traced_task, range(6), workers=2)
+        assert METRICS.counter("test.pool.work") == 6
+
+    def test_worker_spans_adopt_under_pmap_span(self):
+        obs.enable_tracing()
+        METRICS.reset()
+        pmap(_traced_task, range(4), workers=2, label="traced")
+        records = obs.get_collector().records()
+        by_name = {}
+        for rec in records:
+            by_name.setdefault(rec["name"], []).append(rec)
+        assert len(by_name["pmap"]) == 1
+        pmap_id = by_name["pmap"][0]["id"]
+        children = by_name["child_work"]
+        assert len(children) == 4
+        # Every shipped-back child root hangs off the parent's pmap span.
+        assert {c["parent"] for c in children} == {pmap_id}
+        # Adopted ids were remapped into the parent collector's id space.
+        assert len({r["id"] for r in records}) == len(records)

@@ -150,6 +150,9 @@ class TestCorruptEntries:
         assert entries
         for path in entries:
             path.write_text(payload)
+        # Mutating cache files behind the cache's back requires dropping the
+        # in-process read-through memo, or loads keep serving the old values.
+        cache.clear_memo()
 
     @pytest.mark.parametrize(
         "payload",
@@ -183,4 +186,5 @@ class TestCorruptEntries:
     def test_load_json_rejects_non_dict(self, cache_dir):
         cache.save_json("probe", {"x": 1})
         (cache_dir / "probe.json").write_text("[]")
+        cache.clear_memo()
         assert cache.load_json("probe") is None

@@ -41,6 +41,22 @@ class TestCLIAblations:
         assert "intra-layer" in capsys.readouterr().out
 
 
+class TestCLIWorkers:
+    def test_workers_flag_exports_env_and_prints_cache_summary(
+        self, capsys, monkeypatch
+    ):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")  # restored (to absent) after
+        assert main(["table1", "--profile", "fast", "--workers", "2"]) == 0
+        assert os.environ["REPRO_WORKERS"] == "2"
+        assert "[cache]" in capsys.readouterr().out
+
+    def test_workers_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--workers", "0"])
+
+
 class TestCLIObservability:
     @pytest.fixture(autouse=True)
     def clean_obs_state(self):
