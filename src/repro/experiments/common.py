@@ -12,7 +12,7 @@ in the artifact cache for the final rebuild.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from ..partition.sparsified import build_sparsified_plan
 from ..sim.engine import InferenceSimulator, SimConfig
 from ..sim.results import SimulationResult
 from ..train.sparsify import SparsifyConfig, train_sparsified
-from ..train.trainer import Trainer
+from ..train.trainer import Trainer, train_settings
 from .cache import ensure_state, settings_key
 from .config import ExperimentProfile
 
@@ -104,7 +104,7 @@ def train_baseline(
         f"baseline-{model.name}",
         {
             "profile": profile.name,
-            "train": asdict(profile.baseline),
+            "train": train_settings(profile.baseline),
             "train_size": profile.train_size,
             "dataset": dataset.name,
             "seed": profile.seed,
@@ -164,8 +164,8 @@ def _grid_point_key(point: _GridPoint, model_name: str) -> str:
         {
             "profile": profile.name,
             "lam": point.lam,
-            "sparsify": asdict(profile.sparsify),
-            "finetune": asdict(profile.finetune),
+            "sparsify": train_settings(profile.sparsify),
+            "finetune": train_settings(profile.finetune),
             "prune": profile.prune_rms_threshold,
             "train_size": profile.train_size,
             "dataset": point.dataset.name,

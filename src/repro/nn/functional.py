@@ -13,7 +13,9 @@ import numpy as np
 __all__ = [
     "conv_output_size",
     "im2col",
+    "im2col_t",
     "col2im",
+    "col2im_t",
     "pad_nchw",
     "softmax",
     "log_softmax",
@@ -43,34 +45,92 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
-def pad_nchw(x: np.ndarray, pad: int) -> np.ndarray:
-    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+def pad_nchw(x: np.ndarray, pad: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor.
+
+    ``out``, when given, must be the padded-shape buffer with its border
+    already zeroed (e.g. a zero-initialized scratch buffer); only the center
+    is written, so a buffer reused across calls keeps its zero border without
+    re-clearing.
+    """
     if pad == 0:
         return x
-    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    n, c, h, w = x.shape
+    if out is None:
+        out = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=x.dtype)
+    out[:, :, pad:pad + h, pad:pad + w] = x
+    return out
 
 
 def im2col(
-    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, pad: int = 0
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+    out: np.ndarray | None = None,
+    pad_buffer: np.ndarray | None = None,
 ) -> np.ndarray:
     """Unfold an NCHW tensor into convolution columns.
 
     Returns a matrix of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
     where each row is the receptive field of one output pixel.  A convolution
     is then ``cols @ weights.reshape(out_channels, -1).T``.
+
+    ``out`` (the column matrix) and ``pad_buffer`` (see :func:`pad_nchw`) let
+    layers reuse these — the largest allocations in training — across steps;
+    the filled values are identical either way.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, pad)
     out_w = conv_output_size(w, kernel_w, stride, pad)
 
-    img = pad_nchw(x, pad)
+    img = pad_nchw(x, pad, out=pad_buffer)
     # One strided gather instead of a python loop over kernel positions.
     windows = np.lib.stride_tricks.sliding_window_view(
         img, (kernel_h, kernel_w), axis=(2, 3)
     )[:, :, ::stride, ::stride]  # (n, c, out_h, out_w, kh, kw)
-    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
-        n * out_h * out_w, -1
-    )
+    view = windows.transpose(0, 2, 3, 1, 4, 5)
+    if out is None:
+        return np.ascontiguousarray(view).reshape(n * out_h * out_w, -1)
+    np.copyto(out.reshape(view.shape), view)
+    return out
+
+
+def im2col_t(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+    out: np.ndarray | None = None,
+    pad_buffer: np.ndarray | None = None,
+) -> np.ndarray:
+    """Unfold an NCHW tensor into *channel-major* convolution columns.
+
+    Returns a matrix of shape ``(C * kernel_h * kernel_w, N * out_h * out_w)``
+    — the transpose of :func:`im2col`'s layout: row ``(c, ky, kx)``, column
+    ``(n, y, x)``.  A convolution is then
+    ``weights.reshape(out_channels, -1) @ cols``.
+
+    This layout exists purely for speed: its innermost copy runs are whole
+    output rows (``out_w`` contiguous elements) instead of single kernel rows
+    (``kernel_w`` elements), so filling the matrix moves the same bytes in
+    roughly half the time, and the GEMM consumes a contiguous right-hand side.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    img = pad_nchw(x, pad, out=pad_buffer)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        img, (kernel_h, kernel_w), axis=(2, 3)
+    )[:, :, ::stride, ::stride]  # (n, c, out_h, out_w, kh, kw)
+    view = windows.transpose(1, 4, 5, 0, 2, 3)  # (c, kh, kw, n, out_h, out_w)
+    if out is None:
+        return np.ascontiguousarray(view).reshape(c * kernel_h * kernel_w, -1)
+    np.copyto(out.reshape(view.shape), view)
+    return out
 
 
 def col2im(
@@ -93,6 +153,40 @@ def col2im(
     cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
         0, 3, 4, 5, 1, 2
     )
+    return _fold_windows(cols, input_shape, kernel_h, kernel_w, stride, pad)
+
+
+def col2im_t(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_t` (channel-major column layout)."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    cols = cols.reshape(c, kernel_h, kernel_w, n, out_h, out_w).transpose(
+        3, 0, 1, 2, 4, 5
+    )
+    return _fold_windows(cols, input_shape, kernel_h, kernel_w, stride, pad)
+
+
+def _fold_windows(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Sum a ``(n, c, kh, kw, out_h, out_w)`` window tensor back into NCHW."""
+    n, c, h, w = input_shape
+    out_h = cols.shape[4]
+    out_w = cols.shape[5]
     img = np.zeros((n, c, h + 2 * pad + stride - 1, w + 2 * pad + stride - 1),
                    dtype=cols.dtype)
     for ky in range(kernel_h):
@@ -117,7 +211,9 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: np.dtype | type = np.float64
+) -> np.ndarray:
     """Integer label vector -> one-hot matrix of shape (N, num_classes)."""
     labels = np.asarray(labels)
     if labels.ndim != 1:
@@ -127,7 +223,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels out of range [0, {num_classes}): "
             f"[{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -138,8 +234,9 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid (computed in the input's dtype)."""
+    dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])

@@ -11,7 +11,10 @@ from typing import Callable
 
 import numpy as np
 
-Initializer = Callable[[tuple[int, ...], np.random.Generator], np.ndarray]
+Initializer = Callable[..., np.ndarray]
+"""``(shape, rng, dtype=np.float64) -> np.ndarray``; every builtin accepts
+an optional ``dtype`` and casts *after* drawing, so the random stream (and
+therefore a float32 init) is a deterministic cast of the float64 one."""
 
 __all__ = [
     "zeros",
@@ -37,53 +40,85 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
     return size, size
 
 
-def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+def zeros(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
 
 
 def constant(value: float) -> Initializer:
-    def init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return np.full(shape, value, dtype=np.float64)
+    def init(
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        return np.full(shape, value, dtype=dtype)
 
     return init
 
 
 def uniform(scale: float = 0.05) -> Initializer:
-    def init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return rng.uniform(-scale, scale, size=shape)
+    def init(
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        return rng.uniform(-scale, scale, size=shape).astype(dtype, copy=False)
 
     return init
 
 
 def normal(std: float = 0.05) -> Initializer:
-    def init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return rng.normal(0.0, std, size=shape)
+    def init(
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        return rng.normal(0.0, std, size=shape).astype(dtype, copy=False)
 
     return init
 
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     fan_in, fan_out = _fan_in_out(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype, copy=False)
 
 
-def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def xavier_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     fan_in, fan_out = _fan_in_out(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(dtype, copy=False)
 
 
-def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def he_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype, copy=False)
 
 
-def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def he_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(dtype, copy=False)
 
 
 _REGISTRY: dict[str, Initializer] = {

@@ -7,11 +7,23 @@ and regularizers can iterate over them uniformly.
 
 from __future__ import annotations
 
+import os
 from typing import Iterator
 
 import numpy as np
 
-__all__ = ["Parameter", "Layer"]
+__all__ = ["Parameter", "Layer", "buffer_reuse_enabled"]
+
+
+def buffer_reuse_enabled() -> bool:
+    """Whether layers keep scratch buffers alive across steps.
+
+    Training reallocates the same large intermediates (im2col columns, padded
+    inputs) every batch; reusing them avoids the malloc/page-fault cost at the
+    price of holding the buffers between steps.  ``REPRO_BUFFER_REUSE=0``
+    restores per-call allocation (benchmarks toggle this to measure the win).
+    """
+    return os.environ.get("REPRO_BUFFER_REUSE", "1") != "0"
 
 
 class Parameter:
@@ -28,10 +40,18 @@ class Parameter:
         to a network; used by regularizers to target specific parameters.
     """
 
-    def __init__(self, data: np.ndarray, name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self, data: np.ndarray, name: str = "", dtype: np.dtype | type = np.float64
+    ) -> None:
+        self.data = np.asarray(data, dtype=dtype)
         self.grad = np.zeros_like(self.data)
         self.name = name
+
+    def astype(self, dtype: np.dtype | type) -> "Parameter":
+        """Cast ``data`` and ``grad`` to ``dtype`` (no-op when they match)."""
+        self.data = self.data.astype(dtype, copy=False)
+        self.grad = self.grad.astype(dtype, copy=False)
+        return self
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -62,6 +82,7 @@ class Layer:
         self.name = name or type(self).__name__.lower()
         self.training = True
         self._params: dict[str, Parameter] = {}
+        self._scratch_buffers: dict[str, np.ndarray] = {}
 
     # -- parameter management -------------------------------------------------
 
@@ -83,6 +104,36 @@ class Layer:
     def zero_grad(self) -> None:
         for p in self._params.values():
             p.zero_grad()
+
+    def astype(self, dtype: np.dtype | type) -> "Layer":
+        """Cast all parameters (and drop scratch buffers) to ``dtype``."""
+        for p in self._params.values():
+            p.astype(dtype)
+        self._scratch_buffers.clear()
+        return self
+
+    # -- scratch buffers ---------------------------------------------------------
+
+    def _scratch(
+        self, key: str, shape: tuple[int, ...], dtype: np.dtype, zero: bool = False
+    ) -> np.ndarray:
+        """A per-layer reusable work buffer of the requested shape and dtype.
+
+        Only one buffer is kept per key — a shape or dtype change (e.g. the
+        trailing partial batch) reallocates, so memory stays bounded by the
+        largest recent batch.  Buffers are *uninitialized* on reuse unless
+        ``zero`` asked for zeros at allocation; callers relying on zeroed
+        contents must either pass ``zero=True`` and preserve the zeros (the
+        padding border trick) or clear the buffer themselves.  With reuse
+        disabled this is exactly ``np.empty``/``np.zeros``.
+        """
+        if not buffer_reuse_enabled():
+            return np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        buf = self._scratch_buffers.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            self._scratch_buffers[key] = buf
+        return buf
 
     # -- mode switches ---------------------------------------------------------
 

@@ -57,7 +57,7 @@ class Dense(Layer):
         self._x = x
         out = x @ self.weight.data
         if self.bias is not None:
-            out = out + self.bias.data
+            out += self.bias.data  # in place: the GEMM output is ours to reuse
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -57,7 +57,7 @@ class MaxPool2D(_Pool2D):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         x_shape, argmax, cols_shape, out_h, out_w = self._cache
         n, c, h, w = x_shape
-        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        grad_cols = np.zeros(cols_shape, dtype=grad_out.dtype)
         grad_cols[np.arange(cols_shape[0]), argmax] = grad_out.reshape(-1)
         grad_img = col2im(
             grad_cols, (n * c, 1, h, w), self.kernel, self.kernel, self.stride,

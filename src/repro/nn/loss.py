@@ -38,7 +38,7 @@ class SoftmaxCrossEntropy:
         if self._probs is None or self._labels is None:
             raise RuntimeError("backward called before forward")
         n, k = self._probs.shape
-        grad = (self._probs - one_hot(self._labels, k)) / n
+        grad = (self._probs - one_hot(self._labels, k, dtype=self._probs.dtype)) / n
         return grad
 
     def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:

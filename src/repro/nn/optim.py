@@ -34,6 +34,17 @@ class Optimizer:
         for p in self.parameters:
             p.zero_grad()
 
+    @staticmethod
+    def _sync_state(p: Parameter, bufs: list[np.ndarray], i: int) -> np.ndarray:
+        """Keep a per-parameter state buffer in the parameter's dtype.
+
+        Lets ``model.astype`` happen after optimizer construction without the
+        state silently up-promoting every update back to the old dtype.
+        """
+        if bufs[i].dtype != p.data.dtype:
+            bufs[i] = bufs[i].astype(p.data.dtype)
+        return bufs[i]
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum and weight decay."""
@@ -53,11 +64,12 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        for i, p in enumerate(self.parameters):
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
+                v = self._sync_state(p, self._velocity, i)
                 v *= self.momentum
                 v -= self.lr * grad
                 p.data += v
@@ -90,7 +102,9 @@ class Adam(Optimizer):
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        for i, p in enumerate(self.parameters):
+            m = self._sync_state(p, self._m, i)
+            v = self._sync_state(p, self._v, i)
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data

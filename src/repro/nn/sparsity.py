@@ -9,20 +9,59 @@ to zero means core ``i`` never needs to send its feature maps to core ``j``.
 :class:`CoreBlockPartition` materializes that partition for dense and conv
 weight layouts, and provides block views, block norms, zero masks, and group
 pruning used by both the training regularizers and the traffic model.
+
+Block operations have two implementations:
+
+* a **fused** path for *uniform* partitions (every producer block the same
+  size, every consumer block the same size): the weight tensor is reshaped
+  once into a ``(P, ..., P, ...)`` blocked view and all ``P^2`` block
+  reductions run as a single numpy reduction — this is the training hot path
+  (the proximal step runs it once per optimizer step per parameter);
+* the original **sliced loop** over ``block_slices``, kept both as the
+  fallback for uneven ``split_boundaries`` partitions and as the reference
+  the fused path is property-tested against
+  (``tests/nn/test_block_kernels.py`` enforces bit-exact agreement).
+
+``REPRO_FUSED_BLOCKS=0`` disables the fused path globally (benchmarks use it
+to measure the speedup); the per-call path choice is counted in the metrics
+registry under ``sparsity.block_kernel{path=fused|loop}``.  Both paths are
+bit-identical, so auto dispatch is free to pick whichever is faster: the
+fused gather copy only pays for itself once there are enough blocks for the
+loop's per-block Python overhead to dominate (see ``_FUSED_MIN_BLOCKS``).
 """
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import METRICS
+
 __all__ = [
     "split_boundaries",
     "block_of",
+    "fused_kernels_enabled",
     "CoreBlockPartition",
     "GroupNormSummary",
 ]
+
+#: Environment switch for the fused (vectorized) block kernels; any value
+#: other than "0" (or unset) leaves them enabled.
+_FUSED_ENV = "REPRO_FUSED_BLOCKS"
+
+#: Auto-dispatch crossover: with fewer than this many (P^2) blocks the
+#: sliced loop's per-block overhead is cheaper than the fused path's gathered
+#: blocked copy (measured near P=8 for the paper's layer sizes, see
+#: benchmarks/bench_train.py), so ``fused=None`` stays on the loop below it.
+_FUSED_MIN_BLOCKS = 64
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether the vectorized block kernels are globally enabled."""
+    return os.environ.get(_FUSED_ENV, "1") != "0"
 
 
 def split_boundaries(total: int, parts: int) -> list[tuple[int, int]]:
@@ -47,10 +86,19 @@ def split_boundaries(total: int, parts: int) -> list[tuple[int, int]]:
 
 
 def block_of(index: int, boundaries: list[tuple[int, int]]) -> int:
-    """Which block a channel index falls into."""
-    for b, (start, stop) in enumerate(boundaries):
-        if start <= index < stop:
-            return b
+    """Which block a channel index falls into.
+
+    Boundaries tile ``[0, total)`` contiguously with non-decreasing starts,
+    so the owning block is found by bisecting the start offsets; empty blocks
+    share a start with their successor and sort before it, which makes the
+    rightmost candidate the (unique) non-empty owner.
+    """
+    if boundaries:
+        b = bisect_right([start for start, _ in boundaries], index) - 1
+        if b >= 0:
+            start, stop = boundaries[b]
+            if start <= index < stop:
+                return b
     raise IndexError(f"index {index} outside boundaries {boundaries}")
 
 
@@ -77,6 +125,12 @@ class CoreBlockPartition:
         are producer channels and ``out_channels`` consumer channels.
     num_cores:
         Number of cores ``P``; the tensor is partitioned into ``P x P`` blocks.
+    fused:
+        ``None`` (default) picks the fused kernels automatically for uniform
+        partitions with at least ``_FUSED_MIN_BLOCKS`` blocks unless
+        ``REPRO_FUSED_BLOCKS=0``; ``False`` forces the sliced-loop
+        reference; ``True`` demands the fused path (regardless of block
+        count) and raises at construction when the partition is not uniform.
     """
 
     def __init__(
@@ -86,6 +140,7 @@ class CoreBlockPartition:
         num_cores: int,
         producer_bounds: list[tuple[int, int]] | None = None,
         consumer_bounds: list[tuple[int, int]] | None = None,
+        fused: bool | None = None,
     ) -> None:
         if kind not in ("dense", "conv"):
             raise ValueError(f"kind must be 'dense' or 'conv', got {kind!r}")
@@ -120,6 +175,19 @@ class CoreBlockPartition:
             )
         self._validate_bounds(self.producer_bounds, producer_total, "producer")
         self._validate_bounds(self.consumer_bounds, consumer_total, "consumer")
+
+        p_sizes = {stop - start for start, stop in self.producer_bounds}
+        c_sizes = {stop - start for start, stop in self.consumer_bounds}
+        #: Uniform = all producer blocks one size and all consumer blocks one
+        #: size; only then can the tensor be reshaped into a blocked view.
+        self.uniform = len(p_sizes) == 1 and len(c_sizes) == 1
+        if fused and not self.uniform:
+            raise ValueError(
+                f"fused=True requires a uniform partition; producer sizes "
+                f"{sorted(p_sizes)}, consumer sizes {sorted(c_sizes)}"
+            )
+        self._fused = fused
+        self._sizes_cache: np.ndarray | None = None
 
     @staticmethod
     def _validate_bounds(
@@ -161,11 +229,101 @@ class CoreBlockPartition:
                 f"{self.shape}"
             )
 
+    # -- fused (vectorized) machinery ---------------------------------------------
+
+    def fused_ok(self, arr: np.ndarray) -> bool:
+        """Whether the fused kernels apply to ``arr`` on this call.
+
+        Requires a uniform partition, the global/per-partition switch on, and
+        a C-contiguous tensor (the blocked view is a reshape).  Auto dispatch
+        (``fused=None``) additionally requires ``_FUSED_MIN_BLOCKS`` blocks —
+        below that the sliced loop is faster and, being bit-identical, freely
+        substitutable.  The choice is counted under
+        ``sparsity.block_kernel{path=...}``.
+        """
+        if self._fused is not None:
+            want = self._fused
+        else:
+            want = (
+                fused_kernels_enabled()
+                and self.num_cores * self.num_cores >= _FUSED_MIN_BLOCKS
+            )
+        ok = bool(want) and self.uniform and arr.flags.c_contiguous
+        METRICS.inc("sparsity.block_kernel", path="fused" if ok else "loop")
+        return ok
+
+    def blocked_view(self, arr: np.ndarray) -> np.ndarray:
+        """Producer/consumer-major blocked **view** of a uniform partition.
+
+        Dense tensors come back as ``(P, P, p_i, c_j)``, conv tensors as
+        ``(P, P, c_j, p_i, kh, kw)`` — axis 0 is the producer core, axis 1
+        the consumer core, and the per-block trailing axes preserve the
+        element order of the sliced block, so reductions over them match the
+        sliced loop bit for bit.  Writing through the view writes ``arr``.
+        """
+        if not self.uniform:
+            raise ValueError("blocked_view requires a uniform partition")
+        p = self.num_cores
+        if self.kind == "dense":
+            pi = self.shape[0] // p
+            cj = self.shape[1] // p
+            return arr.reshape(p, pi, p, cj).transpose(0, 2, 1, 3)
+        cj = self.shape[0] // p
+        pi = self.shape[1] // p
+        v = arr.reshape(p, cj, p, pi, *self.shape[2:])
+        return v.transpose(2, 0, 1, 3, 4, 5)
+
+    def natural_view(self, arr: np.ndarray) -> np.ndarray:
+        """Blocked reshape of a uniform partition in **natural** memory order.
+
+        Unlike :meth:`blocked_view` there is no transpose: a C-contiguous
+        ``arr`` stays C-contiguous, so elementwise kernels (scaling,
+        soft-thresholding) stream through memory instead of striding.  Dense
+        tensors come back as ``(P, p_i, P, c_j)``, conv tensors as
+        ``(P, c_j, P, p_i, kh, kw)`` — pair a ``(P, P)`` producer/consumer
+        block matrix with :meth:`expand_blocks` to broadcast against it.
+        """
+        if not self.uniform:
+            raise ValueError("natural_view requires a uniform partition")
+        p = self.num_cores
+        if self.kind == "dense":
+            return arr.reshape(p, self.shape[0] // p, p, self.shape[1] // p)
+        return arr.reshape(
+            p, self.shape[0] // p, p, self.shape[1] // p, *self.shape[2:]
+        )
+
+    def expand_blocks(self, mat: np.ndarray, ndim: int) -> np.ndarray:
+        """Broadcast a (P, P) [producer, consumer] matrix to a natural view.
+
+        ``ndim`` is the natural view's rank.  For conv tensors the consumer
+        (output-channel) axis comes first in memory, so the matrix is
+        transposed to line up.
+        """
+        m = mat if self.kind == "dense" else mat.T
+        return m[(slice(None), np.newaxis, slice(None))
+                 + (np.newaxis,) * (ndim - 3)]
+
+    def _block_sq_sums(self, weights: np.ndarray) -> np.ndarray:
+        """(P, P) matrix of per-block sums of squares (fused path)."""
+        p = self.num_cores
+        sq = self.blocked_view(weights) ** 2  # contiguous (P, P, <block...>)
+        return sq.reshape(p, p, -1).sum(axis=-1)
+
     # -- block statistics -----------------------------------------------------------
 
     def block_norms(self, weights: np.ndarray) -> np.ndarray:
         """(P, P) matrix of block L2 norms, indexed [producer, consumer]."""
         self._check(weights)
+        if self.fused_ok(weights):
+            # Same reduction order as the loop: each block's elements are
+            # contiguous in the blocked layout, so the pairwise sum matches
+            # np.sum over the sliced block exactly.
+            norms = np.sqrt(self._block_sq_sums(weights))
+            return norms.astype(np.float64, copy=False)
+        return self._block_norms_loop(weights)
+
+    def _block_norms_loop(self, weights: np.ndarray) -> np.ndarray:
+        """Sliced-loop reference for :meth:`block_norms`."""
         p = self.num_cores
         norms = np.zeros((p, p), dtype=np.float64)
         for i in range(p):
@@ -175,16 +333,19 @@ class CoreBlockPartition:
         return norms
 
     def block_sizes(self) -> np.ndarray:
-        """(P, P) matrix of block element counts."""
-        p = self.num_cores
-        sizes = np.zeros((p, p), dtype=np.int64)
-        elem = int(np.prod(self.shape[2:])) if self.kind == "conv" else 1
-        for i in range(p):
-            pi = self.producer_bounds[i][1] - self.producer_bounds[i][0]
-            for j in range(p):
-                cj = self.consumer_bounds[j][1] - self.consumer_bounds[j][0]
-                sizes[i, j] = pi * cj * elem
-        return sizes
+        """(P, P) matrix of block element counts (cached, read-only)."""
+        if self._sizes_cache is None:
+            p_sizes = np.array(
+                [stop - start for start, stop in self.producer_bounds], dtype=np.int64
+            )
+            c_sizes = np.array(
+                [stop - start for start, stop in self.consumer_bounds], dtype=np.int64
+            )
+            elem = int(np.prod(self.shape[2:])) if self.kind == "conv" else 1
+            sizes = np.multiply.outer(p_sizes, c_sizes) * elem
+            sizes.flags.writeable = False
+            self._sizes_cache = sizes
+        return self._sizes_cache
 
     def zero_mask(self, weights: np.ndarray, tol: float = 0.0) -> np.ndarray:
         """(P, P) boolean matrix; True where the block norm is <= ``tol``.
@@ -221,6 +382,28 @@ class CoreBlockPartition:
         """
         self._check(weights)
         p = self.num_cores
+        if self.fused_ok(weights):
+            sums = self._block_sq_sums(weights)
+            sizes = self.block_sizes()
+            occupied = sizes > 0
+            rms = np.zeros_like(sums)
+            np.divide(sums, sizes.astype(sums.dtype), out=rms, where=occupied)
+            np.sqrt(rms, out=rms)
+            pruned = (rms < threshold) & occupied
+            if protect_diagonal:
+                pruned &= ~np.eye(p, dtype=bool)
+            if np.any(pruned):
+                bv = self.blocked_view(weights)
+                where = pruned.reshape(p, p, *([1] * (bv.ndim - 2)))
+                np.copyto(bv, 0.0, where=where)
+            return pruned
+        return self._prune_blocks_loop(weights, threshold, protect_diagonal)
+
+    def _prune_blocks_loop(
+        self, weights: np.ndarray, threshold: float, protect_diagonal: bool
+    ) -> np.ndarray:
+        """Sliced-loop reference for :meth:`prune_blocks`."""
+        p = self.num_cores
         pruned = np.zeros((p, p), dtype=bool)
         for i in range(p):
             for j in range(p):
@@ -241,6 +424,13 @@ class CoreBlockPartition:
         p = self.num_cores
         if keep.shape != (p, p):
             raise ValueError(f"mask shape {keep.shape} != ({p}, {p})")
+        if self.fused_ok(weights):
+            bv = self.blocked_view(weights)
+            where = (~np.asarray(keep, dtype=bool)).reshape(
+                p, p, *([1] * (bv.ndim - 2))
+            )
+            np.copyto(bv, 0.0, where=where)
+            return
         for i in range(p):
             for j in range(p):
                 if not keep[i, j]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -57,13 +58,25 @@ def default_workers() -> int:
 def resolve_workers(workers: int | None) -> int:
     """Effective worker count: explicit arg > ``$REPRO_WORKERS`` > 1.
 
-    Always 1 inside a worker process — an outer pmap owns the pool.
+    Always 1 inside a worker process — an outer pmap owns the pool.  The
+    result is clamped to ``os.cpu_count()``: oversubscribing cores is a net
+    slowdown for these CPU-bound tasks (BENCH_experiments.json measured 2
+    workers on a 1-CPU box 12% *slower* than serial), so asking for more
+    warns and runs with one worker per core instead.
     """
     if in_worker():
         return 1
-    if workers is not None:
-        return max(1, int(workers))
-    return default_workers()
+    requested = max(1, int(workers)) if workers is not None else default_workers()
+    cpus = os.cpu_count() or 1
+    if requested > cpus:
+        warnings.warn(
+            f"requested {requested} workers but only {cpus} CPU(s) are "
+            f"available; clamping to {cpus} to avoid oversubscription",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cpus
+    return requested
 
 
 def _start_method() -> str:

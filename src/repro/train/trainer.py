@@ -17,7 +17,8 @@ Each epoch runs inside a ``train.epoch`` span (loss, reg-loss, accuracy, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -30,7 +31,9 @@ from ..nn.optim import SGD
 from ..nn.regularizers import Regularizer
 from ..obs import METRICS, span, tracing_enabled
 
-__all__ = ["TrainConfig", "TrainHistory", "Trainer"]
+__all__ = ["TrainConfig", "TrainHistory", "Trainer", "train_settings"]
+
+_DTYPES = {"": None, "float32": np.float32, "float64": np.float64}
 
 
 @dataclass(frozen=True)
@@ -45,6 +48,10 @@ class TrainConfig:
     lr_decay: float = 1.0  # multiplicative per-epoch decay (1.0 = constant)
     max_grad_norm: float = 5.0  # global gradient-norm clip (0 disables)
     seed: int = 0
+    # Compute dtype: "float32" / "float64"; "" defers to $REPRO_DTYPE and
+    # then float64.  Kept out of cache keys when it resolves to the float64
+    # default so pre-existing artifacts stay valid (see train_settings).
+    dtype: str = ""
 
     def __post_init__(self) -> None:
         if self.epochs < 0:
@@ -53,6 +60,43 @@ class TrainConfig:
             raise ValueError(f"lr_decay must be in (0, 1], got {self.lr_decay}")
         if self.max_grad_norm < 0:
             raise ValueError("max_grad_norm must be non-negative")
+        if self.dtype not in _DTYPES:
+            raise ValueError(
+                f"dtype must be one of {sorted(_DTYPES)}, got {self.dtype!r}"
+            )
+
+    def resolved_dtype(self) -> np.dtype:
+        """The numpy dtype this run computes in.
+
+        Precedence: explicit ``dtype`` field > ``$REPRO_DTYPE`` > float64.
+        """
+        if self.dtype:
+            return np.dtype(_DTYPES[self.dtype])
+        env = os.environ.get("REPRO_DTYPE", "")
+        if env:
+            if env not in _DTYPES or not _DTYPES[env]:
+                raise ValueError(
+                    f"$REPRO_DTYPE must be 'float32' or 'float64', got {env!r}"
+                )
+            return np.dtype(_DTYPES[env])
+        return np.dtype(np.float64)
+
+
+def train_settings(cfg: TrainConfig) -> dict:
+    """Cache-key view of a :class:`TrainConfig`.
+
+    The ``dtype`` field joins the key only when it resolves to something
+    other than the float64 default, so every settings hash minted before
+    dtype existed — and every future default-dtype run — stays unchanged
+    (``tests/experiments/test_cache_keys.py`` pins this).
+    """
+    settings = asdict(cfg)
+    resolved = cfg.resolved_dtype()
+    if resolved == np.dtype(np.float64):
+        settings.pop("dtype")
+    else:
+        settings["dtype"] = resolved.name
+    return settings
 
 
 @dataclass
@@ -101,12 +145,20 @@ class Trainer:
         return zeros / total if total else 0.0
 
     def _clip_gradients(self, max_norm: float) -> None:
-        """Scale all gradients so their global L2 norm is at most ``max_norm``."""
+        """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+        The squared norm accumulates per-parameter BLAS dot products over the
+        flattened gradients (one reduction per tensor, no ``grad ** 2``
+        temporaries); the scaling pass only runs when the norm exceeds the
+        cap.  The observed norm lands in METRICS as ``train.grad_norm``.
+        """
         total = 0.0
         params = list(self.model.parameters())
         for p in params:
-            total += float(np.sum(p.grad ** 2))
-        norm = np.sqrt(total)
+            g = p.grad.reshape(-1)
+            total += float(g @ g)
+        norm = float(np.sqrt(total))
+        METRICS.observe("train.grad_norm", norm, model=self.model.name)
         if norm > max_norm:
             scale = max_norm / norm
             for p in params:
@@ -120,6 +172,13 @@ class Trainer:
     ) -> TrainHistory:
         """Run the configured number of epochs; returns the history."""
         cfg = self.config
+        dtype = cfg.resolved_dtype()
+        self.model.astype(dtype)
+        # Dataset tensors are float64 at rest; cast once up front (astype is
+        # a no-op view at the default dtype) so every batch and accuracy
+        # evaluation computes in the configured precision.
+        x_train = dataset.x_train.astype(dtype, copy=False)
+        x_test = dataset.x_test.astype(dtype, copy=False)
         optimizer = SGD(
             self.model.parameters(),
             lr=cfg.lr,
@@ -127,7 +186,7 @@ class Trainer:
             weight_decay=cfg.weight_decay,
         )
         loader = DataLoader(
-            dataset.x_train, dataset.y_train, batch_size=cfg.batch_size,
+            x_train, dataset.y_train, batch_size=cfg.batch_size,
             shuffle=True, seed=cfg.seed,
         )
         history = TrainHistory()
@@ -164,8 +223,8 @@ class Trainer:
                 if tracing_enabled():
                     sp.set(sparsity=self._weight_sparsity())
                 if (epoch + 1) % eval_every == 0 or epoch == cfg.epochs - 1:
-                    train_acc = self.model.accuracy(dataset.x_train, dataset.y_train)
-                    test_acc = self.model.accuracy(dataset.x_test, dataset.y_test)
+                    train_acc = self.model.accuracy(x_train, dataset.y_train)
+                    test_acc = self.model.accuracy(x_test, dataset.y_test)
                     history.train_accuracy.append(train_acc)
                     history.test_accuracy.append(test_acc)
                     sp.set(train_accuracy=train_acc, test_accuracy=test_acc)

@@ -1,0 +1,17 @@
+"""Experiment-runner tests: neutralize host-dependent worker clamping.
+
+``resolve_workers`` clamps to ``os.cpu_count()``; the determinism tests
+compare explicit multi-worker runs against serial ones, which must spawn
+real pools regardless of how small the CI box is.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def plenty_of_cpus(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)

@@ -7,8 +7,10 @@ from hypothesis import strategies as st
 
 from repro.nn.functional import (
     col2im,
+    col2im_t,
     conv_output_size,
     im2col,
+    im2col_t,
     log_softmax,
     one_hot,
     pad_nchw,
@@ -91,6 +93,57 @@ class TestIm2col:
         y = rng.normal(size=cols.shape)
         lhs = float(np.sum(cols * y))
         back = col2im(y, x.shape, kernel, kernel, stride, pad)
+        rhs = float(np.sum(x * back))
+        assert np.isclose(lhs, rhs)
+
+
+class TestIm2colT:
+    """Channel-major columns: the transpose of im2col's layout, bit for bit."""
+
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_im2col_transposed(self, kernel, stride, pad):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 5, 5))
+        n = x.shape[0]
+        cols = im2col(x, kernel, kernel, stride, pad)
+        cols_t = im2col_t(x, kernel, kernel, stride, pad)
+        # Row (n, y, x, c, ky, kx) of im2col is column (c, ky, kx), (n, y, x)
+        # of im2col_t, with both axes in the same lexicographic order.
+        np.testing.assert_array_equal(cols_t, cols.T)
+        assert cols_t.shape == (cols.shape[1], cols.shape[0])
+        assert cols_t.flags.c_contiguous
+
+    def test_out_buffer_path_identical(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        fresh = im2col_t(x, 3, 3, 1, 1)
+        out = np.empty_like(fresh)
+        pad_buf = np.zeros((2, 3, 8, 8))
+        reused = im2col_t(x, 3, 3, 1, 1, out=out, pad_buffer=pad_buf)
+        assert reused is out
+        np.testing.assert_array_equal(reused, fresh)
+        # A reused pad buffer keeps its zero border: second call, same bytes.
+        again = im2col_t(x, 3, 3, 1, 1, out=out, pad_buffer=pad_buf)
+        np.testing.assert_array_equal(again, fresh)
+
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_col2im_t_is_adjoint(self, kernel, stride, pad):
+        """<im2col_t(x), y> == <x, col2im_t(y)> — exact adjoint pair."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 2, 5, 5))
+        cols = im2col_t(x, kernel, kernel, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im_t(y, x.shape, kernel, kernel, stride, pad)
         rhs = float(np.sum(x * back))
         assert np.isclose(lhs, rhs)
 

@@ -142,6 +142,55 @@ class TestConv2DCacheLifecycle:
         check_input_gradient(conv, x)
         check_param_gradient(conv, x, conv.weight)
 
+
+class TestConv2DFastPathEquivalence:
+    """REPRO_BUFFER_REUSE=1 (channel-major columns, kn2row backward, scratch
+    reuse) and =0 (the original row-major im2col path) must compute the same
+    convolution; only summation order differs, so allclose not bit-equal."""
+
+    CASES = [
+        dict(cin=3, cout=8, k=5, stride=1, padding=2, groups=1, hw=10),
+        dict(cin=4, cout=6, k=3, stride=1, padding=1, groups=2, hw=6),
+        dict(cin=2, cout=3, k=3, stride=2, padding=0, groups=1, hw=7),
+        dict(cin=2, cout=4, k=3, stride=1, padding=0, groups=1, hw=6),
+    ]
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_forward_backward_agree(self, case, rng, monkeypatch):
+        x = rng.normal(size=(2, case["cin"], case["hw"], case["hw"]))
+        results = {}
+        for gate in ("1", "0"):
+            monkeypatch.setenv("REPRO_BUFFER_REUSE", gate)
+            conv = Conv2D(
+                case["cin"], case["cout"], case["k"], stride=case["stride"],
+                padding=case["padding"], groups=case["groups"],
+                rng=np.random.default_rng(7),
+            )
+            out = conv.forward(x)
+            g = np.random.default_rng(8).normal(size=out.shape)
+            conv.zero_grad()
+            grad_in = conv.backward(g)
+            results[gate] = (out, grad_in, conv.weight.grad.copy(),
+                            conv.bias.grad.copy())
+        for fast, slow in zip(results["1"], results["0"]):
+            np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_fast_path_repeated_steps_are_stable(self, rng, monkeypatch):
+        """Scratch buffers must not leak state between steps: two identical
+        forward/backward rounds produce identical results."""
+        monkeypatch.setenv("REPRO_BUFFER_REUSE", "1")
+        conv = Conv2D(3, 4, 5, padding=2, rng=np.random.default_rng(3))
+        x = rng.normal(size=(2, 3, 8, 8))
+        g = rng.normal(size=(2, 4, 8, 8))
+        rounds = []
+        for _ in range(2):
+            out = conv.forward(x)
+            conv.zero_grad()
+            grad_in = conv.backward(g)
+            rounds.append((out.copy(), grad_in.copy(), conv.weight.grad.copy()))
+        for a, b in zip(rounds[0], rounds[1]):
+            np.testing.assert_array_equal(a, b)
+
     def test_groups_block_independence(self, rng):
         """Group 0's output must not depend on group 1's input channels."""
         conv = Conv2D(4, 4, 3, padding=1, groups=2, bias=False, rng=rng)

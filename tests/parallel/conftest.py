@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import obs
@@ -12,6 +14,10 @@ from repro.experiments.cache import clear_memo
 def clean_parallel_state(monkeypatch):
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     monkeypatch.delenv("REPRO_IN_WORKER", raising=False)
+    # Multi-worker behavior tests must exercise real pools even on small CI
+    # boxes, so pretend there are plenty of CPUs (resolve_workers clamps to
+    # os.cpu_count otherwise); the clamp itself is tested explicitly.
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     obs.disable_tracing()
     obs.get_collector().clear()
     obs.nocprof.disable_noc_profiling()

@@ -62,6 +62,27 @@ class TestWorkerResolution:
         assert in_worker()
         assert resolve_workers(8) == 1
 
+    def test_clamped_to_cpu_count_with_warning(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="clamping to 2"):
+            assert resolve_workers(6) == 2
+
+    def test_env_request_clamped_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "16")
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(None) == 4
+
+    def test_at_or_below_cpu_count_passes_through(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert resolve_workers(4) == 4
+        assert resolve_workers(3) == 3
+
+    def test_unknown_cpu_count_clamps_to_one(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(2) == 1
+
 
 class TestPmap:
     def test_results_in_input_order(self):
