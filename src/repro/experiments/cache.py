@@ -295,10 +295,13 @@ def ensure_json(key: str, compute: Callable[[], dict]) -> dict:
 
 
 def cache_summary() -> str:
-    """One-line cache-effectiveness report for the run summaries.
+    """Per-run cache + parallel-dispatch report (two lines) for run summaries.
 
     Reads the global metrics registry, so in a parallel run it reflects the
-    merged counts from every worker process.
+    merged counts from every worker process.  The ``[parallel]`` line says
+    how every ``pmap`` call dispatched — and, when calls stayed serial, why
+    (see ``parallel.dispatch.serial{reason=}`` in the metrics snapshot) —
+    plus what the shared-memory broadcast path carried.
     """
     parts = []
     for kind in ("state", "json"):
@@ -316,4 +319,15 @@ def cache_summary() -> str:
         f"{event}={lock_count(event):g}"
         for event in ("acquired", "contended", "stale_takeover")
     )
-    return f"[cache] {' · '.join(parts)} · locks {locks}"
+    dispatch = " ".join(
+        f"{path.removeprefix('pool_')}="
+        f"{METRICS.counter('parallel.dispatch', path=path):g}"
+        for path in ("serial", "pool_warm", "pool_fresh")
+    )
+    shm_bytes = METRICS.counter("parallel.shm.broadcast_bytes")
+    shm_tasks = METRICS.counter("parallel.shm.tasks")
+    return (
+        f"[cache] {' · '.join(parts)} · locks {locks}\n"
+        f"[parallel] dispatch {dispatch} · "
+        f"shm {shm_bytes:g} B broadcast across {shm_tasks:g} tasks"
+    )

@@ -12,6 +12,7 @@ in the artifact cache for the final rebuild.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -140,15 +141,21 @@ def simulator_for(num_cores: int, sim_config: SimConfig | None = None) -> Infere
 
 @dataclass(frozen=True)
 class _GridPoint:
-    """One lambda-grid training job; picklable so ``pmap`` can ship it."""
+    """One lambda-grid training job; deliberately small to ship.
+
+    The dataset and baseline plan are **not** fields: they are identical for
+    every point of a grid, so they ride the ``pmap`` callable (a
+    ``functools.partial``), which the pool broadcasts to workers once via
+    shared memory instead of re-pickling into each task.  Only the
+    dataset's name stays here — the cache key needs it.
+    """
 
     network: str
     scheme: str
     num_cores: int
     profile: ExperimentProfile
     lam: float
-    dataset: SyntheticImageDataset
-    baseline_plan: ModelParallelPlan
+    dataset_name: str
     build_kwargs: tuple[tuple[str, object], ...]
 
 
@@ -168,25 +175,27 @@ def _grid_point_key(point: _GridPoint, model_name: str) -> str:
             "finetune": train_settings(profile.finetune),
             "prune": profile.prune_rms_threshold,
             "train_size": profile.train_size,
-            "dataset": point.dataset.name,
+            "dataset": point.dataset_name,
             "seed": profile.seed,
             "build": sorted(point.build_kwargs),
         },
     )
 
 
-def _grid_point_state(point: _GridPoint, model: Sequential) -> dict[str, np.ndarray]:
+def _grid_point_state(
+    point: _GridPoint, model: Sequential, dataset: SyntheticImageDataset
+) -> dict[str, np.ndarray]:
     """Trained weights for one grid point: cache hit or single-flight train."""
 
     def train() -> dict[str, np.ndarray]:
         base_model, _ = train_baseline(
-            point.network, point.profile, dataset=point.dataset,
+            point.network, point.profile, dataset=dataset,
             **dict(point.build_kwargs),
         )
         model.load_state_dict(base_model.state_dict())
         train_sparsified(
             model,
-            point.dataset,
+            dataset,
             point.num_cores,
             point.scheme,
             SparsifyConfig(
@@ -201,21 +210,27 @@ def _grid_point_state(point: _GridPoint, model: Sequential) -> dict[str, np.ndar
     return ensure_state(_grid_point_key(point, model.name), train)
 
 
-def _run_grid_point(point: _GridPoint) -> tuple[float, float, float]:
+def _run_grid_point(
+    point: _GridPoint,
+    dataset: SyntheticImageDataset,
+    baseline_plan: ModelParallelPlan,
+) -> tuple[float, float, float]:
     """Evaluate one lambda: ``(traffic_rate, lam, accuracy)``.
 
-    The trained state stays in the artifact cache (not the return value), so
-    a wide grid holds at most one state dict in memory at a time — the parent
-    reloads only the winner.
+    ``dataset`` and ``baseline_plan`` arrive bound into the ``pmap``
+    callable (broadcast once per grid, read-only by contract).  The trained
+    state stays in the artifact cache (not the return value), so a wide grid
+    holds at most one state dict in memory at a time — the parent reloads
+    only the winner.
     """
     model = build_network(
         point.network, seed=point.profile.seed, **dict(point.build_kwargs)
     )
-    model.load_state_dict(_grid_point_state(point, model))
+    model.load_state_dict(_grid_point_state(point, model, dataset))
     model.eval()
-    acc = model.accuracy(point.dataset.x_test, point.dataset.y_test)
+    acc = model.accuracy(dataset.x_test, dataset.y_test)
     plan = build_sparsified_plan(model, point.num_cores, scheme=point.scheme)
-    return plan.traffic_rate_vs(point.baseline_plan), point.lam, acc
+    return plan.traffic_rate_vs(baseline_plan), point.lam, acc
 
 
 def run_sparsified_scheme(
@@ -238,7 +253,9 @@ def run_sparsified_scheme(
 
     Grid points are independent train-or-load jobs, sharded across worker
     processes by :func:`repro.parallel.pmap`; ``workers=1`` (or unset without
-    ``$REPRO_WORKERS``) runs them serially in-process.
+    ``$REPRO_WORKERS``) runs them serially in-process.  The shared dataset
+    and baseline plan bind into the callable — broadcast to workers once —
+    and each task ships one heavy training run, so ``chunksize=1``.
     """
     dataset = dataset or dataset_for(network, profile)
     base_model, base_acc = train_baseline(
@@ -253,14 +270,19 @@ def run_sparsified_scheme(
             num_cores=num_cores,
             profile=profile,
             lam=lam,
-            dataset=dataset,
-            baseline_plan=baseline_plan,
+            dataset_name=dataset.name,
             build_kwargs=tuple(sorted(build_kwargs.items())),
         )
         for lam in profile.lam_grid
     ]
     candidates = pmap(
-        _run_grid_point, points, workers=workers, label=f"lam_grid.{scheme}"
+        functools.partial(
+            _run_grid_point, dataset=dataset, baseline_plan=baseline_plan
+        ),
+        points,
+        workers=workers,
+        label=f"lam_grid.{scheme}",
+        chunksize=1,
     )
 
     admissible = [c for c in candidates if c[2] >= base_acc - profile.accuracy_tolerance]
@@ -268,7 +290,7 @@ def run_sparsified_scheme(
 
     winner = points[[p.lam for p in points].index(lam)]
     model = build_network(network, seed=profile.seed, **build_kwargs)
-    model.load_state_dict(_grid_point_state(winner, model))
+    model.load_state_dict(_grid_point_state(winner, model, dataset))
     model.eval()
     plan = build_sparsified_plan(model, num_cores, scheme=scheme)
     result = simulator.simulate(plan)

@@ -38,6 +38,7 @@ from .trace import (
     tracing_enabled,
     write_jsonl,
 )
+from .payload import begin_capture, end_capture, merge_payload
 
 __all__ = [
     "span",
@@ -56,6 +57,9 @@ __all__ = [
     "disable_noc_profiling",
     "noc_profiling_enabled",
     "merge_profile_dict",
+    "begin_capture",
+    "end_capture",
+    "merge_payload",
     "export_trace",
 ]
 

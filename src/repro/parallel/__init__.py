@@ -1,9 +1,9 @@
-"""``repro.parallel`` — process-pool work sharding for the experiment stack.
+"""``repro.parallel`` — warm process-pool work sharding for the experiment stack.
 
 Every grid in the reproduction (lambda sweeps, per-network/per-core-count
 table loops, the Table S1 serving sweep, ``run_all`` over experiments) is a
 map over independent train-or-load + simulate jobs.  :func:`pmap` shards such
-a map across worker processes while keeping three invariants:
+a map across worker processes while keeping four invariants:
 
 * **Serial identity** — ``workers=1`` (the default) runs the plain in-process
   list comprehension, so single-worker results are bit-identical to the
@@ -11,6 +11,13 @@ a map across worker processes while keeping three invariants:
   deterministic computations merely executed elsewhere.
 * **No nested pools** — a ``pmap`` reached inside a worker process runs
   serially, so parallelizing an outer loop never fork-bombs the inner ones.
+* **Pay startup once** — pool-path calls share one **persistent warm pool**
+  (:mod:`repro.parallel.warmpool`; ``REPRO_POOL=persistent|fresh|serial``),
+  large callables broadcast to workers through **shared memory**
+  (:mod:`repro.parallel.shm`) instead of re-pickling per task, and items ship
+  in chunks.  A single **adaptive dispatch** policy keeps calls serial when a
+  pool cannot win — too few CPUs, too few items, payloads that dwarf task
+  compute — recorded as ``parallel.dispatch{path=}``.
 * **Complete observability** — workers ship their span trees, metric deltas,
   and NoC-profile accumulators back to the parent, which merges them into the
   global collector/registry (see :mod:`repro.obs`), so ``--trace`` /
@@ -21,6 +28,7 @@ Concurrent workers share the ``.repro_cache`` artifact directory; the
 key trained by exactly one process (see ``repro.experiments.cache``).
 """
 
+from . import shm, warmpool
 from .pool import default_workers, in_worker, pmap, resolve_workers
 from .singleflight import run_single_flight
 
@@ -30,4 +38,6 @@ __all__ = [
     "default_workers",
     "in_worker",
     "run_single_flight",
+    "shm",
+    "warmpool",
 ]

@@ -1,36 +1,72 @@
-"""Process-pool ``pmap`` with worker-count resolution and obs round-tripping.
+"""Adaptive ``pmap``: one dispatch policy, chunked submission, warm pools.
 
 Worker-count resolution order: explicit ``workers=`` argument, then the
 ``REPRO_WORKERS`` environment variable, then 1 (serial).  Inside a worker
 process the answer is always 1, so nested ``pmap`` calls degrade to the
 serial path instead of spawning pools-of-pools.
 
-Each parallel task runs through :func:`_run_task`, which isolates the child's
-observability state (fresh metrics registry contents, fresh trace collector,
-cleared NoC profiles) and returns ``(result, obs_payload)``; the parent folds
+Dispatch is decided **here**, once per call — call sites never measure or
+guess.  A call runs serially when any of these hold (first match is the
+recorded reason):
+
+==============  ========================================================
+reason          condition
+==============  ========================================================
+``nested``      already inside a worker process (no metric recorded)
+``forced``      ``REPRO_POOL=serial``
+``cpu_clamp``   requested workers exceed ``os.cpu_count()`` and the
+                clamp leaves ≤ 1 (parallelism would oversubscribe)
+``single_item`` one task (nothing to shard)
+``workers``     effective worker count resolves to 1
+``few_items``   fewer items than ``REPRO_PARALLEL_MIN_ITEMS`` (default 2)
+``unpicklable`` the callable or first item cannot be pickled
+``payload``     estimated per-task transfer bytes exceed
+                ``REPRO_PARALLEL_MAX_TASK_BYTES`` (default 4 MiB) — IPC
+                would dwarf the task's compute
+==============  ========================================================
+
+Otherwise the call dispatches to a pool — the **warm** persistent executor
+(:mod:`repro.parallel.warmpool`, default) or a **fresh** per-call pool
+(``REPRO_POOL=fresh``) — and the decision lands in
+``parallel.dispatch{path=serial|pool_warm|pool_fresh}``.
+
+Transfer costs are paid once, not per task: items are submitted in
+**chunks** (explicit ``chunksize`` argument, ``REPRO_PARALLEL_CHUNKSIZE``,
+or ``len(items) // (workers * 4)``), so the callable pickles once per chunk
+— and when its pickle is large (a ``partial`` closing over a dataset or
+trained state) it is broadcast through shared memory instead
+(:mod:`repro.parallel.shm`) and every chunk carries a ~100-byte reference.
+In-flight chunks are windowed to the effective worker count, so a large
+warm pool never runs a 2-worker call 8 wide.
+
+Each task still runs through :func:`_run_task`, which isolates the child's
+observability state and returns ``(result, obs_payload)``; the parent folds
 every payload back into the process-global collector/registry **in input
-order**, so merged metrics are deterministic for deterministic workloads.
+order**, so merged metrics and traces are byte-identical to a serial run's
+for deterministic workloads, regardless of chunking.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import pickle
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, TypeVar
 
 from ..obs import (
     METRICS,
-    TraceCollector,
-    enable_tracing,
+    begin_capture,
+    end_capture,
     get_collector,
-    merge_profile_dict,
+    merge_payload,
     noc_profiling_enabled,
     span,
     tracing_enabled,
 )
-from ..obs import nocprof
+from . import shm, warmpool
 
 __all__ = ["pmap", "resolve_workers", "default_workers", "in_worker"]
 
@@ -39,6 +75,13 @@ R = TypeVar("R")
 
 #: Set in every worker process; its presence forces nested pmaps serial.
 _WORKER_ENV = "REPRO_IN_WORKER"
+
+#: Below this many items a pool is never worth its dispatch overhead.
+DEFAULT_MIN_ITEMS = 2
+#: Estimated per-task transfer bytes beyond which IPC dwarfs task compute.
+DEFAULT_MAX_TASK_BYTES = 4 * 1024 * 1024
+#: Auto chunking targets this many chunks per effective worker.
+CHUNKS_PER_WORKER = 4
 
 
 def in_worker() -> bool:
@@ -79,51 +122,49 @@ def resolve_workers(workers: int | None) -> int:
     return requested
 
 
-def _start_method() -> str:
-    """``fork`` where the platform has it (cheap, inherits warm state);
-    ``spawn`` elsewhere.  ``REPRO_MP_START`` overrides for debugging."""
-    override = os.environ.get("REPRO_MP_START")
-    if override:
-        return override
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
-
-
-def _worker_init() -> None:
-    os.environ[_WORKER_ENV] = "1"
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
 
 
 def _run_task(payload: tuple[Callable[[Any], Any], Any, bool, bool]) -> tuple[Any, dict]:
     """Child-side wrapper: run one task with isolated observability state.
 
-    The child's registry/collector/profiles start empty for each task (a pool
-    worker serves many tasks; with the fork start method it also inherits the
-    parent's accumulated state), so what ships back is exactly this task's
-    delta.
+    The child's registry/collector/profiles start empty for each task (a
+    warm pool worker serves many tasks across many ``pmap`` calls; with the
+    fork start method it also inherits the parent's accumulated state), so
+    what ships back is exactly this task's delta.
     """
     fn, item, tracing, profiling = payload
-    METRICS.reset()
-    nocprof.clear_profiles()
-    collector: TraceCollector | None = None
-    if tracing:
-        collector = enable_tracing(TraceCollector())
-    if profiling:
-        nocprof.enable_noc_profiling()
+    collector = begin_capture(tracing, profiling)
     result = fn(item)
-    obs_payload = {
-        "metrics": METRICS.snapshot(),
-        "spans": collector.records() if collector is not None else [],
-        "noc_profiles": [p.to_dict() for p in nocprof.global_profiles()],
-    }
-    return result, obs_payload
+    return result, end_capture(collector)
 
 
-def _merge_obs(obs_payload: dict, parent_span_id: int | None) -> None:
-    METRICS.merge_snapshot(obs_payload["metrics"])
-    if obs_payload["spans"]:
-        get_collector().adopt_records(obs_payload["spans"], parent_id=parent_span_id)
-    for profile in obs_payload["noc_profiles"]:
-        merge_profile_dict(profile)
+def _run_chunk(payload: tuple) -> list[tuple[Any, dict]]:
+    """Child-side chunk runner: the callable arrives pickled once per chunk
+    (or as a shared-memory reference materialized on unpickle) and is applied
+    to every item, each with per-task obs isolation."""
+    fn, items, tracing, profiling = payload
+    return [_run_task((fn, item, tracing, profiling)) for item in items]
+
+
+def _serial(
+    fn: Callable[[T], R], items: list[T], reason: str, record: bool
+) -> list[R]:
+    if record:
+        METRICS.inc("parallel.dispatch", path="serial")
+        METRICS.inc("parallel.dispatch.serial", reason=reason)
+    return [fn(item) for item in items]
+
+
+def _auto_chunksize(n_items: int, workers: int) -> int:
+    override = _env_int("REPRO_PARALLEL_CHUNKSIZE", 0)
+    if override > 0:
+        return override
+    return max(1, n_items // (workers * CHUNKS_PER_WORKER))
 
 
 def pmap(
@@ -131,40 +172,120 @@ def pmap(
     items: Iterable[T],
     workers: int | None = None,
     label: str | None = None,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, sharded across worker processes.
 
     Results come back in input order.  ``fn`` and every item must be
     picklable (module-level functions, ``functools.partial`` of them, plain
-    dataclasses).  With an effective worker count of 1 — the default — this
-    is exactly ``[fn(item) for item in items]`` in the calling process.
+    dataclasses) — an unpicklable callable falls back to the serial loop.
+    With an effective worker count of 1 — the default — this is exactly
+    ``[fn(item) for item in items]`` in the calling process.
+
+    ``chunksize`` batches consecutive items into one submission (pass 1 for
+    heavy heterogeneous tasks like training runs; leave unset for the
+    load-balancing default).  Large callables are broadcast to workers once
+    through shared memory; see the module docstring for the full dispatch
+    decision table.
 
     A task that raises propagates its exception to the caller; observability
-    payloads of tasks completed before the failure are still merged.
+    payloads of chunks completed before the failure are still merged.
     """
     items = list(items)
-    n = min(resolve_workers(workers), max(1, len(items)))
-    if n <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+    record = not in_worker()
+    if in_worker():
+        return _serial(fn, items, "nested", record=False)
+    if warmpool.pool_mode() == "serial":
+        return _serial(fn, items, "forced", record)
 
+    requested = max(1, int(workers)) if workers is not None else default_workers()
+    n = min(resolve_workers(workers), max(1, len(items)))
+    if n <= 1:
+        if requested > (os.cpu_count() or 1):
+            return _serial(fn, items, "cpu_clamp", record)
+        if len(items) <= 1:
+            return _serial(fn, items, "single_item", record)
+        return _serial(fn, items, "workers", record)
+    if len(items) < max(2, _env_int("REPRO_PARALLEL_MIN_ITEMS", DEFAULT_MIN_ITEMS)):
+        return _serial(fn, items, "few_items", record)
+
+    try:
+        fn_blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        item_blob = pickle.dumps(items[0], protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return _serial(fn, items, "unpicklable", record)
+
+    if chunksize is None:
+        chunksize = _auto_chunksize(len(items), n)
+    chunksize = max(1, chunksize)
+
+    # Estimated bytes IPC moves per task: one item, plus the callable's
+    # amortized share of its chunk — unless shared memory carries it.
+    broadcast = shm.available() and len(fn_blob) >= shm.min_bytes()
+    per_task = len(item_blob) + (0 if broadcast else len(fn_blob) // chunksize)
+    if per_task > _env_int("REPRO_PARALLEL_MAX_TASK_BYTES", DEFAULT_MAX_TASK_BYTES):
+        return _serial(fn, items, "payload", record)
+
+    fn_payload: Any = fn
+    if broadcast:
+        fn_payload = shm.share_blob(fn_blob)
+        METRICS.inc("parallel.shm.tasks", len(items))
+
+    path = "pool_warm" if warmpool.pool_mode() == "persistent" else "pool_fresh"
+    METRICS.inc("parallel.dispatch", path=path)
     name = label or getattr(fn, "__name__", None) or type(fn).__name__
     METRICS.inc("parallel.pmap.pools", pool=name)
     METRICS.inc("parallel.pmap.tasks", len(items), pool=name)
+    chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+    METRICS.inc("parallel.pmap.chunks", len(chunks), pool=name)
     tracing = tracing_enabled()
     profiling = noc_profiling_enabled()
-    payloads: Sequence[tuple] = [(fn, item, tracing, profiling) for item in items]
-    with span("pmap", pool=name, workers=n, tasks=len(items)):
+
+    with span("pmap", pool=name, workers=n, tasks=len(items), path=path):
         parent_span_id = get_collector().current_span_id() if tracing else None
-        ctx = multiprocessing.get_context(_start_method())
+        if path == "pool_warm":
+            executor = warmpool.get_executor(n)
+        else:
+            executor = ProcessPoolExecutor(
+                max_workers=n,
+                mp_context=get_context(warmpool._start_method()),
+                initializer=warmpool._worker_init,
+            )
         results: list[R] = []
-        with ProcessPoolExecutor(
-            max_workers=n, mp_context=ctx, initializer=_worker_init
-        ) as executor:
-            try:
-                for result, obs_payload in executor.map(_run_task, payloads):
-                    _merge_obs(obs_payload, parent_span_id)
+        chunk_iter = iter(chunks)
+        pending: deque = deque()
+
+        def top_up() -> None:
+            # Window in-flight submissions to the effective worker count so
+            # a warm pool sized for a bigger earlier call can't over-run
+            # this one's budget.
+            while len(pending) < n:
+                chunk = next(chunk_iter, None)
+                if chunk is None:
+                    return
+                pending.append(
+                    executor.submit(_run_chunk, (fn_payload, chunk, tracing, profiling))
+                )
+
+        try:
+            top_up()
+            while pending:
+                future = pending.popleft()
+                chunk_out = future.result()
+                top_up()  # keep workers fed while the parent merges
+                for result, obs_payload in chunk_out:
+                    merge_payload(obs_payload, parent_span_id)
                     results.append(result)
-            except BaseException:
-                METRICS.inc("parallel.pmap.failed", pool=name)
-                raise
+        except BaseException:
+            METRICS.inc("parallel.pmap.failed", pool=name)
+            for future in pending:
+                future.cancel()
+            if path == "pool_warm":
+                if getattr(executor, "_broken", False):
+                    warmpool.discard()
+            else:
+                executor.shutdown(wait=True, cancel_futures=True)
+            raise
+        if path == "pool_fresh":
+            executor.shutdown(wait=True)
         return results

@@ -1,0 +1,238 @@
+"""Shared-memory broadcast of large read-only payloads to ``pmap`` workers.
+
+The process-pool transfer problem this solves: a ``pmap`` callable that
+closes over a dataset or a trained state (via ``functools.partial``) gets
+re-pickled into every task submission — for a 30 MB dataset and a 20-point
+lambda grid that is 600 MB of redundant serialization and IPC.  Instead,
+:func:`share_blob` pickles the payload **once** into a
+``multiprocessing.shared_memory`` segment and returns a :class:`ShmRef`, a
+pickle-by-reference wrapper whose own pickle is ~100 bytes.  Unpickling a
+``ShmRef`` (in a worker, or anywhere) attaches the segment, materializes the
+object, and caches it per process, so a warm worker that serves many chunks
+of the same ``pmap`` call deserializes the payload exactly once.
+
+Contract and lifetime rules:
+
+* **Broadcast payloads are read-only by contract.**  A worker that receives
+  a materialized object from the per-process cache shares it with every
+  later task in that worker — mutating it would leak state across tasks
+  exactly like mutating a fork-inherited global.
+* **The creating process owns the segment.**  Segments are deduplicated by
+  content digest (re-broadcasting the same dataset is free), kept in a small
+  LRU (``REPRO_SHM_CACHE`` segments, default 8), and unlinked on eviction,
+  on :func:`release_all`, and at interpreter exit via ``atexit``.  Workers
+  only ever attach-copy-close; they never unlink.
+* **Materialization copies out of the segment.**  Workers deserialize from a
+  ``bytes`` copy of the buffer, so no live numpy view ever points into the
+  mapping and the parent may unlink as soon as the call completes.
+
+``REPRO_SHM_MIN_BYTES`` (default 256 KiB) is the broadcast threshold used by
+:func:`repro.parallel.pmap`; payloads below it ride the normal task pickle.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+
+from ..obs import METRICS
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["ShmRef", "available", "share_blob", "share", "release_all", "min_bytes"]
+
+#: Broadcast threshold: payloads smaller than this ship as plain pickles.
+DEFAULT_MIN_BYTES = 256 * 1024
+#: Parent-side segment-cache capacity (distinct payloads kept alive).
+DEFAULT_SEGMENT_CACHE = 8
+#: Worker-side materialized-object cache capacity.
+DEFAULT_ATTACH_CACHE = 8
+
+
+def available() -> bool:
+    """True when ``multiprocessing.shared_memory`` works on this platform."""
+    return _shared_memory is not None
+
+
+def min_bytes() -> int:
+    """Broadcast threshold in bytes (``REPRO_SHM_MIN_BYTES`` overrides)."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES", "")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MIN_BYTES
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return max(0, int(os.environ.get(name, "")))
+    except ValueError:
+        return default
+
+
+_tracker_private: bool | None = None
+
+
+def _tracker_is_private() -> bool:
+    """Whether this process started its own resource tracker.
+
+    CPython registers shm segments with the resource tracker on *attach*,
+    not just create, and what that implies depends on which tracker the
+    attacher talks to.  A spawn worker starts its own tracker, which will
+    unlink everything it knows about when the worker exits — attached
+    segments the creator still owns included — so there the registration
+    must be undone.  A fork worker inherits the creator's tracker; its
+    registry is shared, attach is a set-add no-op, and unregistering there
+    would erase the creator's entry (the creator's own ``unlink`` then
+    raises KeyError inside the tracker process).  The tracker is private
+    exactly when no tracker fd existed before this process's first attach.
+    """
+    global _tracker_private
+    if _tracker_private is None:
+        try:
+            from multiprocessing import resource_tracker
+
+            _tracker_private = resource_tracker._resource_tracker._fd is None
+        except Exception:  # pragma: no cover - tracker layout differs
+            _tracker_private = True  # old always-unregister behavior
+    return _tracker_private
+
+
+def _materialize(name: str, size: int):
+    """Attach ``name``, deserialize its payload, cache it for this process.
+
+    The per-process cache is what makes warm workers cheap: every chunk of a
+    ``pmap`` call references the same segment, and only the first reference
+    in each worker pays the attach + unpickle.  The buffer is copied before
+    deserializing, so nothing keeps the mapping alive afterwards.
+    """
+    with _attach_lock:
+        cached = _attached.get(name)
+        if cached is not None:
+            _attached.move_to_end(name)
+            return cached[0]
+    private = _tracker_is_private()  # must be decided before attach starts one
+    segment = _shared_memory.SharedMemory(name=name)
+    if private:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker layout differs
+            pass
+    try:
+        payload = bytes(segment.buf[:size])
+    finally:
+        segment.close()
+    obj = pickle.loads(payload)
+    cap = _env_int("REPRO_SHM_CACHE", DEFAULT_ATTACH_CACHE)
+    with _attach_lock:
+        _attached[name] = (obj, size)
+        _attached.move_to_end(name)
+        while len(_attached) > max(1, cap):
+            _attached.popitem(last=False)
+    return obj
+
+
+_attach_lock = threading.Lock()
+_attached: OrderedDict[str, tuple[object, int]] = OrderedDict()
+
+
+class ShmRef:
+    """Pickle-by-reference handle to a broadcast payload.
+
+    Pickling a ``ShmRef`` costs ~100 bytes regardless of payload size;
+    unpickling it yields the **payload object itself** (not the ref), via the
+    per-process materialization cache.
+    """
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.size = size
+
+    def __reduce__(self):
+        return (_materialize, (self.name, self.size))
+
+    def materialize(self):
+        """The payload object (attach-and-cache in the calling process)."""
+        return _materialize(self.name, self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmRef(name={self.name!r}, size={self.size})"
+
+
+# -- parent-side segment registry ------------------------------------------------------
+
+_segment_lock = threading.Lock()
+#: content digest -> (SharedMemory, payload size); LRU, unlink on eviction.
+_segments: OrderedDict[str, tuple] = OrderedDict()
+
+
+def _unlink(segment) -> None:
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+def share_blob(blob: bytes) -> ShmRef:
+    """Publish an already-pickled payload; returns its :class:`ShmRef`.
+
+    Deduplicated by content digest: broadcasting the same bytes twice (the
+    same dataset across two ``pmap`` calls) reuses the live segment and
+    counts nothing the second time.
+    """
+    if not available():
+        raise RuntimeError("shared memory is not available on this platform")
+    digest = hashlib.sha256(blob).hexdigest()
+    with _segment_lock:
+        hit = _segments.get(digest)
+        if hit is not None:
+            _segments.move_to_end(digest)
+            return ShmRef(hit[0].name, hit[1])
+    segment = _shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    segment.buf[: len(blob)] = blob
+    METRICS.inc("parallel.shm.broadcast_bytes", len(blob))
+    METRICS.inc("parallel.shm.segments")
+    cap = _env_int("REPRO_SHM_CACHE", DEFAULT_SEGMENT_CACHE)
+    with _segment_lock:
+        _segments[digest] = (segment, len(blob))
+        _segments.move_to_end(digest)
+        evicted = []
+        while len(_segments) > max(1, cap):
+            evicted.append(_segments.popitem(last=False)[1][0])
+    for old in evicted:
+        _unlink(old)
+    return ShmRef(segment.name, len(blob))
+
+
+def share(obj) -> ShmRef:
+    """Pickle ``obj`` and publish it (convenience over :func:`share_blob`)."""
+    return share_blob(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def release_all() -> None:
+    """Unlink every live segment this process created (idempotent).
+
+    Workers holding materialized copies are unaffected — they copied the
+    payload out at attach time.  Registered with ``atexit``, so a normal
+    interpreter exit never leaks ``/dev/shm`` entries.
+    """
+    with _segment_lock:
+        doomed = [seg for seg, _ in _segments.values()]
+        _segments.clear()
+    for segment in doomed:
+        _unlink(segment)
+
+
+atexit.register(release_all)

@@ -21,7 +21,7 @@ import argparse
 import sys
 
 from .. import obs
-from ..cli import add_workers_flag, apply_workers
+from ..cli import add_pool_flag, add_workers_flag, apply_pool, apply_workers
 from ..models.zoo import SPEC_BUILDERS, get_spec
 from .cluster import build_spec_cluster
 from .scheduler import SCHEDULERS, make_scheduler
@@ -101,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the metrics snapshot after the run",
     )
     add_workers_flag(parser)
+    add_pool_flag(parser)
     return parser
 
 
@@ -173,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     apply_workers(args.workers)
+    apply_pool(args.pool)
     if args.cores % args.group_cores:
         parser.error(
             f"--group-cores {args.group_cores} does not tile --cores {args.cores}"

@@ -1,4 +1,4 @@
-"""pmap: ordering, serial fallback, nesting, error propagation, obs merge."""
+"""pmap: ordering, adaptive dispatch, chunking, error propagation, obs merge."""
 
 from __future__ import annotations
 
@@ -10,6 +10,17 @@ from repro import obs
 from repro.obs import METRICS
 from repro.parallel import default_workers, in_worker, pmap, resolve_workers
 from repro.parallel.pool import _WORKER_ENV
+
+
+def _snapshot_without_parallel_keys() -> dict:
+    """Metrics snapshot minus the dispatch bookkeeping pmap itself emits."""
+    snap = METRICS.snapshot()
+    return {
+        section: {
+            k: v for k, v in entries.items() if not k.startswith("parallel.")
+        }
+        for section, entries in snap.items()
+    }
 
 
 def _square(x: int) -> int:
@@ -122,6 +133,89 @@ class TestPmap:
         pmap(_square, range(5), workers=2, label="sq")
         assert METRICS.counter("parallel.pmap.pools", pool="sq") == 1
         assert METRICS.counter("parallel.pmap.tasks", pool="sq") == 5
+
+
+class TestAdaptiveDispatch:
+    def test_single_cpu_falls_back_to_serial(self, monkeypatch):
+        # The BENCH_experiments regression this PR fixes: on a 1-CPU box a
+        # pool can only lose, so a 2-worker request must run in-process.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        METRICS.reset()
+        with pytest.warns(RuntimeWarning):
+            pids = pmap(_pid_of, range(6), workers=2)
+        assert set(pids) == {os.getpid()}
+        assert METRICS.counter("parallel.dispatch", path="serial") == 1
+        assert METRICS.counter("parallel.dispatch.serial", reason="cpu_clamp") == 1
+
+    def test_pool_path_records_dispatch_metric(self):
+        METRICS.reset()
+        pmap(_square, range(6), workers=2)
+        assert METRICS.counter("parallel.dispatch", path="pool_warm") == 1
+
+    def test_min_items_threshold_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_ITEMS", "10")
+        METRICS.reset()
+        assert set(pmap(_pid_of, range(6), workers=2)) == {os.getpid()}
+        assert METRICS.counter("parallel.dispatch.serial", reason="few_items") == 1
+
+    def test_oversized_payload_stays_serial(self, monkeypatch):
+        # Each item is ~64 KiB; with a 1 KiB per-task budget, IPC transfer
+        # would dwarf the trivial task, so dispatch keeps the call serial.
+        monkeypatch.setenv("REPRO_PARALLEL_MAX_TASK_BYTES", "1024")
+        METRICS.reset()
+        items = [bytes(65536) for _ in range(4)]
+        assert pmap(len, items, workers=2) == [65536] * 4
+        assert METRICS.counter("parallel.dispatch.serial", reason="payload") == 1
+
+    def test_unpicklable_callable_falls_back_to_serial(self):
+        METRICS.reset()
+        out = pmap(lambda x: x + 1, range(4), workers=2)
+        assert out == [1, 2, 3, 4]
+        assert METRICS.counter("parallel.dispatch.serial", reason="unpicklable") == 1
+
+    def test_nested_calls_record_no_dispatch(self, monkeypatch):
+        monkeypatch.setenv(_WORKER_ENV, "1")
+        METRICS.reset()
+        pmap(_square, range(4), workers=4)
+        assert METRICS.counter("parallel.dispatch", path="serial") == 0
+
+
+class TestChunking:
+    def test_explicit_chunksize_preserves_order(self):
+        METRICS.reset()
+        assert pmap(_square, range(10), workers=2, chunksize=3) == [
+            x * x for x in range(10)
+        ]
+        assert METRICS.counter("parallel.pmap.chunks", pool="_square") == 4
+        assert METRICS.counter("parallel.pmap.tasks", pool="_square") == 10
+
+    def test_auto_chunksize_batches_many_small_tasks(self):
+        METRICS.reset()
+        assert pmap(_square, range(64), workers=2) == [x * x for x in range(64)]
+        # 64 items / (2 workers * 4 chunks each) = chunksize 8.
+        assert METRICS.counter("parallel.pmap.chunks", pool="_square") == 8
+
+    def test_obs_merge_is_identical_under_chunking(self):
+        METRICS.reset()
+        [_traced_task(x) for x in range(12)]
+        serial = _snapshot_without_parallel_keys()
+        METRICS.reset()
+        pmap(_traced_task, range(12), workers=2, chunksize=3)
+        chunked = _snapshot_without_parallel_keys()
+        assert serial == chunked
+
+    def test_chunked_spans_still_reparent_under_pmap(self):
+        obs.enable_tracing()
+        METRICS.reset()
+        pmap(_traced_task, range(8), workers=2, chunksize=4, label="chunked")
+        records = obs.get_collector().records()
+        pmap_spans = [r for r in records if r["name"] == "pmap"]
+        children = [r for r in records if r["name"] == "child_work"]
+        assert len(pmap_spans) == 1
+        assert len(children) == 8
+        assert {c["parent"] for c in children} == {pmap_spans[0]["id"]}
+        # Input order survives chunked shipment.
+        assert [c["attrs"]["item"] for c in children] == list(range(8))
 
 
 class TestObsMerge:

@@ -1,0 +1,136 @@
+"""Shared-memory broadcast: round-trip integrity, dedup, lifetime, pmap path."""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.obs import METRICS
+from repro.parallel import pmap, shm
+
+
+def _state_fingerprint(_: int, state: dict | None = None) -> tuple:
+    return tuple(
+        (name, str(arr.dtype), arr.shape, float(arr.sum()))
+        for name, arr in sorted(state.items())
+    )
+
+
+def _make_state(dtype) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    return {
+        "conv1.w": rng.standard_normal((64, 3, 5, 5)).astype(dtype),
+        "conv1.b": rng.standard_normal(64).astype(dtype),
+        "fc.w": rng.standard_normal((128, 256)).astype(dtype),
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_state_dict_round_trips_bit_exact(self, dtype):
+        state = _make_state(dtype)
+        ref = shm.share(state)
+        blob = pickle.dumps(ref)
+        # The whole point: the reference pickles tiny, not payload-sized.
+        assert len(blob) < 512
+        out = pickle.loads(blob)
+        assert sorted(out) == sorted(state)
+        for name in state:
+            assert out[name].dtype == state[name].dtype
+            np.testing.assert_array_equal(out[name], state[name])
+
+    def test_materialization_is_cached_per_process(self):
+        ref = shm.share({"x": np.arange(10)})
+        assert ref.materialize() is ref.materialize()
+        assert pickle.loads(pickle.dumps(ref)) is ref.materialize()
+
+
+class TestSegmentLifetime:
+    def test_same_content_dedups_to_one_segment(self):
+        METRICS.reset()
+        blob = os.urandom(4096)
+        first = shm.share_blob(blob)
+        second = shm.share_blob(blob)
+        assert first.name == second.name
+        assert METRICS.counter("parallel.shm.segments") == 1
+        assert METRICS.counter("parallel.shm.broadcast_bytes") == 4096
+
+    def test_release_all_unlinks_segments(self):
+        from multiprocessing import shared_memory
+
+        ref = shm.share({"x": 1})
+        shm.release_all()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.name)
+
+    def test_release_all_is_idempotent(self):
+        shm.share({"x": 1})
+        shm.release_all()
+        shm.release_all()
+
+    def test_fork_workers_leave_tracker_clean(self):
+        # Fork workers share the creator's resource tracker. If an attacher
+        # unregisters there (the spawn-only workaround misapplied), the
+        # creator's unlink raises KeyError *inside the tracker process*,
+        # which surfaces as a traceback on stderr at interpreter exit.
+        script = textwrap.dedent(
+            """
+            import functools, os
+            os.cpu_count = lambda: 8
+            os.environ["REPRO_SHM_MIN_BYTES"] = "1024"
+            os.environ["REPRO_MP_START"] = "fork"
+            from repro.parallel import pmap
+
+            payload = os.urandom(512 * 1024)
+            def probe(x, blob=None):
+                return x + len(blob) % 2
+            out = pmap(functools.partial(probe, blob=payload),
+                       range(6), workers=2, chunksize=1)
+            assert out == list(range(6)), out
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "KeyError" not in proc.stderr, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+
+
+class TestPmapIntegration:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_large_callable_broadcasts_and_workers_agree(self, monkeypatch, dtype):
+        # Low threshold so the modest test payload takes the broadcast path.
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "1024")
+        METRICS.reset()
+        state = _make_state(dtype)
+        fn = functools.partial(_state_fingerprint, state=state)
+        expected = _state_fingerprint(0, state=state)
+        out = pmap(fn, range(6), workers=2, chunksize=1)
+        # Every worker materialized the same bit-exact state from shm.
+        assert all(fp == expected for fp in out)
+        assert METRICS.counter("parallel.shm.tasks") == 6
+        assert METRICS.counter("parallel.shm.segments") == 1
+        assert METRICS.counter("parallel.shm.broadcast_bytes") > 0
+
+    def test_small_callable_skips_broadcast(self):
+        METRICS.reset()
+        pmap(_square, range(6), workers=2)
+        assert METRICS.counter("parallel.shm.segments") == 0
+        assert METRICS.counter("parallel.shm.tasks") == 0
+
+
+def _square(x: int) -> int:
+    return x * x

@@ -1,0 +1,100 @@
+"""Warm pool: reuse across pmap calls, recycling, REPRO_POOL modes."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import METRICS
+from repro.parallel import pmap, warmpool
+
+
+def _pid_of(_: int) -> int:
+    return os.getpid()
+
+
+class TestWarmReuse:
+    def test_consecutive_pmaps_reuse_the_same_workers(self):
+        METRICS.reset()
+        first = set(pmap(_pid_of, range(8), workers=2))
+        second = set(pmap(_pid_of, range(8), workers=2))
+        third = set(pmap(_pid_of, range(8), workers=2))
+        assert os.getpid() not in first
+        # The whole point of the warm pool: later calls hit the same
+        # processes instead of paying spawn + re-import again.
+        assert first == second == third
+        assert METRICS.counter("parallel.pool.spawned") == 1
+        assert METRICS.counter("parallel.pool.reused") == 2
+
+    def test_pool_spawns_lazily(self):
+        METRICS.reset()
+        assert warmpool.current_executor() is None
+        pmap(_pid_of, range(4), workers=1)  # serial: still no pool
+        assert warmpool.current_executor() is None
+        pmap(_pid_of, range(4), workers=2)
+        assert warmpool.current_executor() is not None
+
+    def test_shutdown_is_idempotent_and_respawns_lazily(self):
+        pmap(_pid_of, range(4), workers=2)
+        warmpool.shutdown()
+        warmpool.shutdown()
+        assert warmpool.current_executor() is None
+        assert set(pmap(_pid_of, range(4), workers=2)) != {os.getpid()}
+
+
+class TestRecycling:
+    def test_env_change_recycles_the_pool(self, monkeypatch):
+        METRICS.reset()
+        first = set(pmap(_pid_of, range(8), workers=2))
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/warmpool-recycle-test")
+        second = set(pmap(_pid_of, range(8), workers=2))
+        # Fork workers snapshot the parent env; a changed REPRO_* var must
+        # never leave warm workers running against the stale value.
+        assert first.isdisjoint(second)
+        assert METRICS.counter("parallel.pool.recycled", reason="env_changed") == 1
+        assert METRICS.counter("parallel.pool.spawned") == 2
+
+    def test_workers_and_pool_knobs_do_not_recycle(self, monkeypatch):
+        METRICS.reset()
+        pmap(_pid_of, range(8), workers=2)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        pmap(_pid_of, range(8), workers=2)
+        assert METRICS.counter("parallel.pool.spawned") == 1
+        assert METRICS.counter("parallel.pool.recycled", reason="env_changed") == 0
+
+    def test_growing_worker_count_recycles(self):
+        METRICS.reset()
+        pmap(_pid_of, range(8), workers=2)
+        pmap(_pid_of, range(8), workers=4)
+        assert METRICS.counter("parallel.pool.recycled", reason="grow") == 1
+        # Shrinking reuses the bigger pool (submission windowing bounds
+        # concurrency, not pool size).
+        pmap(_pid_of, range(8), workers=2)
+        assert METRICS.counter("parallel.pool.spawned") == 2
+
+
+class TestPoolModes:
+    def test_fresh_mode_never_keeps_a_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "fresh")
+        METRICS.reset()
+        pids = pmap(_pid_of, range(4), workers=2)
+        assert os.getpid() not in pids
+        assert warmpool.current_executor() is None
+        assert METRICS.counter("parallel.dispatch", path="pool_fresh") == 1
+        assert METRICS.counter("parallel.pool.spawned") == 0
+
+    def test_serial_mode_forces_in_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "serial")
+        METRICS.reset()
+        assert set(pmap(_pid_of, range(4), workers=4)) == {os.getpid()}
+        assert METRICS.counter("parallel.dispatch", path="serial") == 1
+        assert METRICS.counter("parallel.dispatch.serial", reason="forced") == 1
+
+    def test_unknown_mode_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "sometimes")
+        with pytest.raises(ValueError, match="REPRO_POOL"):
+            pmap(_pid_of, range(4), workers=2)
+
+    def test_default_mode_is_persistent(self):
+        assert warmpool.pool_mode() == "persistent"
