@@ -40,12 +40,15 @@ from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT))
 
 from repro.experiments import get_profile  # noqa: E402
 from repro.experiments.cache import clear_memo  # noqa: E402
 from repro.experiments.runner import EXPERIMENTS, run_all  # noqa: E402
 from repro.obs import METRICS  # noqa: E402
 from repro.parallel import shm, warmpool  # noqa: E402
+
+from benchmarks._host import host_fingerprint  # noqa: E402
 
 #: Default set: two table-only experiments plus two that train/simulate under
 #: internal pmap grids, so both sharding levels get exercised.
@@ -149,6 +152,7 @@ def main() -> None:
         "profile": args.profile,
         "workers": args.workers,
         "cpu_count": cpu_count,
+        "host": host_fingerprint(),
         "pool_mode": os.environ.get("REPRO_POOL", "persistent"),
         "experiments": list(args.experiments),
         "timings_s": {k: round(v, 3) for k, v in timings.items()},

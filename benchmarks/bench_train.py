@@ -36,6 +36,7 @@ from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT))
 
 from repro.datasets.synthetic import synthetic_mnist  # noqa: E402
 from repro.experiments import get_profile  # noqa: E402
@@ -50,6 +51,8 @@ from repro.partition.distance import (  # noqa: E402
 )
 from repro.partition.sparsified import layer_block_partitions  # noqa: E402
 from repro.train.trainer import TrainConfig, Trainer  # noqa: E402
+
+from benchmarks._host import host_fingerprint  # noqa: E402
 
 GATES = ("REPRO_FUSED_BLOCKS", "REPRO_BUFFER_REUSE")
 
@@ -223,6 +226,7 @@ def main() -> None:
     payload = {
         "profile": args.profile,
         "cpu_count": os.cpu_count(),
+        "host": host_fingerprint(),
         "fused_path_clean": True,
         "regularizer_step": reg,
         "regularizer_speedup_p16": reg_p16,

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Benchmark regression watchdog over the checked-in BENCH_*.json reports.
+
+Compares fresh benchmark reports against baselines under the tolerance rules
+in ``benchmarks/tolerances.json`` (see :mod:`repro.obs.regress` for the rule
+grammar).  Exit status is the gate: 0 when every applied rule passes, 1 when
+any metric regressed or went missing — unless ``--report-only``, which always
+exits 0 so CI can surface the report without blocking merges.
+
+Usage::
+
+    # fresh reports in the working tree vs baselines saved earlier
+    PYTHONPATH=src python scripts/check_bench.py --baseline-dir .bench_baselines
+
+    # or diff against the committed baselines of a git ref
+    PYTHONPATH=src python scripts/check_bench.py --baseline-ref origin/main
+
+Host-sensitive gates (wall-clock speedups/overheads) are skipped when the
+baseline's recorded ``cpu_count`` regime differs from this host's, so a
+1-core container never "fails" a 16-core runner's speedup floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.obs.regress import check_bench, load_tolerances, render_findings  # noqa: E402
+
+
+def _load_file(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _load_ref(ref: str, filename: str) -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{filename}"],
+        cwd=_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerances",
+        default=str(_ROOT / "benchmarks" / "tolerances.json"),
+        help="tolerance rule file (default: benchmarks/tolerances.json)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(_ROOT),
+        help="directory holding baseline BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default=None,
+        help="git ref to read baselines from instead of --baseline-dir",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=str(_ROOT),
+        help="directory holding freshly generated BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="only check these benches (e.g. BENCH_serve); repeatable",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the report but always exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    specs = load_tolerances(args.tolerances)
+    if args.bench:
+        wanted = set(args.bench)
+        unknown = wanted - {s.name for s in specs}
+        if unknown:
+            parser.error(f"no tolerance rules for: {', '.join(sorted(unknown))}")
+        specs = [s for s in specs if s.name in wanted]
+
+    findings = []
+    for spec in specs:
+        if args.baseline_ref:
+            baseline = _load_ref(args.baseline_ref, spec.filename)
+        else:
+            baseline = _load_file(Path(args.baseline_dir) / spec.filename)
+        fresh = _load_file(Path(args.fresh_dir) / spec.filename)
+        findings.extend(check_bench(spec, baseline, fresh))
+
+    print(render_findings(findings))
+    failed = any(f.failed for f in findings)
+    if failed and args.report_only:
+        print("(report-only mode: regressions reported, exit forced to 0)")
+    return 1 if failed and not args.report_only else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

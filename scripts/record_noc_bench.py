@@ -36,6 +36,7 @@ sys.path.insert(0, str(_ROOT / "src"))
 
 from repro.noc import NoCConfig, NoCSimulator, ReferenceNoCSimulator  # noqa: E402
 
+from benchmarks._host import host_fingerprint  # noqa: E402
 from benchmarks.bench_noc_engine import CASES, _drain, _drain_telemetry  # noqa: E402
 
 #: Maximum tolerated aggregate slowdown of the telemetry-off path.
@@ -145,6 +146,7 @@ def main() -> None:
     out = Path(__file__).resolve().parent.parent / "BENCH_noc.json"
     payload = {
         "rounds": args.rounds,
+        "host": host_fingerprint(),
         "cases": results,
         "telemetry": {
             "aggregate_disabled_overhead_pct": round(aggregate_pct, 2),

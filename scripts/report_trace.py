@@ -2,12 +2,15 @@
 """Summarize a JSONL trace written by ``repro-experiments --trace``.
 
 Prints a per-phase time breakdown (spans aggregated by name with total/self
-time), the run's metrics snapshot, and an ASCII mesh heatmap of NoC link
-utilization for every profiled mesh shape.
+time), the run's metrics snapshot, a sparkline panel per serve time-series,
+and an ASCII mesh heatmap of NoC link utilization for every profiled mesh
+shape.  ``--perfetto OUT`` additionally converts the bundle into a Chrome
+trace-event file that opens in https://ui.perfetto.dev.
 
 Usage::
 
-    PYTHONPATH=src python scripts/report_trace.py trace.jsonl [--top-links N]
+    PYTHONPATH=src python scripts/report_trace.py trace.jsonl \\
+        [--top-links N] [--perfetto out.perfetto.json]
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ _ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_ROOT / "src"))
 
 from repro.analysis.trace_report import summarize_trace  # noqa: E402
-from repro.obs import read_jsonl  # noqa: E402
+from repro.obs import export_chrome_trace, read_jsonl  # noqa: E402
 
 
 def main() -> int:
@@ -32,6 +35,12 @@ def main() -> int:
         default=8,
         help="how many busiest directed links each heatmap lists",
     )
+    parser.add_argument(
+        "--perfetto",
+        metavar="OUT",
+        default=None,
+        help="also convert the trace to a Chrome trace-event file at OUT",
+    )
     args = parser.parse_args()
 
     path = Path(args.trace)
@@ -39,7 +48,11 @@ def main() -> int:
         parser.error(f"no such trace file: {path}")
     # Empty or span-less traces summarize to "no data" rather than erroring:
     # CI smoke jobs feed whatever the run produced straight in.
-    print(summarize_trace(read_jsonl(path), top_links=args.top_links))
+    records = read_jsonl(path)
+    print(summarize_trace(records, top_links=args.top_links))
+    if args.perfetto:
+        out = export_chrome_trace(records, args.perfetto)
+        print(f"\n[perfetto trace written to {out}]")
     return 0
 
 

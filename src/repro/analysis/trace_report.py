@@ -9,6 +9,10 @@ prints:
   total time, and *self* time (total minus time spent in child spans), sorted
   by self time so the hot phase tops the list;
 * the **metrics snapshot** (counters / gauges / histograms);
+* a **serve time-series panel** per ``timeseries`` record — ASCII sparklines
+  of completions, p99, queue depth, utilization, and SLO burn over sim-time
+  windows, a per-window table of the most recent windows, and the exact
+  cumulative summary;
 * an **ASCII mesh heatmap** per profiled mesh shape
   (:func:`repro.analysis.heatmap.render_mesh_heatmap`).
 
@@ -25,7 +29,29 @@ from ..obs.nocprof import NoCProfile
 from .heatmap import render_mesh_heatmap
 from .tables import render_table
 
-__all__ = ["phase_breakdown", "render_metrics_snapshot", "summarize_trace"]
+__all__ = [
+    "phase_breakdown",
+    "render_metrics_snapshot",
+    "render_timeseries",
+    "sparkline",
+    "summarize_trace",
+]
+
+#: Density ramp for sparklines, lightest to heaviest.
+_SPARK_RAMP = " .:-=+*#%@"
+
+
+def sparkline(values: list[float]) -> str:
+    """One character per value, scaled to the series' own max (0 = blank)."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_RAMP[0] * len(values)
+    top = len(_SPARK_RAMP) - 1
+    return "".join(
+        _SPARK_RAMP[min(top, round(max(0.0, v) / peak * top))] for v in values
+    )
 
 
 def phase_breakdown(records: list[dict[str, Any]]) -> str:
@@ -98,6 +124,83 @@ def render_metrics_snapshot(snapshot: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def render_timeseries(record: dict[str, Any], max_rows: int = 20) -> str:
+    """Text panel for one exported serve time-series record.
+
+    Sparklines cover every retained window (the whole run — coalescing keeps
+    full coverage); the table shows only the last ``max_rows`` windows so
+    long runs stay readable.  The cumulative block quotes the exact run-wide
+    aggregates, which match the run's ``ServeResult``/``SLOReport``.
+    """
+    windows = record.get("windows", [])
+    cum = record.get("cumulative", {})
+    width = record.get("window_cycles")
+    head = (
+        f"serve time-series: {record.get('label', '?')} "
+        f"({len(windows)} windows x {width:,} cycles"
+        + (f", coalesced x{record['coalesced']}" if record.get("coalesced") else "")
+        + ")"
+    )
+    if not windows:
+        return head + "\n  no windows — the run served no requests"
+
+    lines = [head]
+    series = [
+        ("completions", [w["completions"] for w in windows]),
+        ("p99 cycles", [w["p99"] or 0 for w in windows]),
+        ("queue depth", [w["queue_depth_max"] for w in windows]),
+        ("utilization", [w["utilization"] for w in windows]),
+    ]
+    if record.get("slo_target_cycles") is not None:
+        series.append(("slo burn", [w["slo_burn_rate"] or 0.0 for w in windows]))
+    label_w = max(len(name) for name, _ in series)
+    for name, values in series:
+        peak = max(values)
+        peak_s = f"{peak:,.4g}" if isinstance(peak, float) else f"{peak:,}"
+        lines.append(f"  {name.ljust(label_w)}  |{sparkline(values)}|  peak {peak_s}")
+
+    shown = windows[-max_rows:]
+    rows = []
+    for w in shown:
+        rows.append(
+            [
+                f"{w['start']:,}",
+                w["arrivals"],
+                w["completions"],
+                w["queue_depth_max"],
+                f"{w['utilization']:.2f}",
+                f"{w['p50']:,}" if w["p50"] is not None else "-",
+                f"{w['p99']:,}" if w["p99"] is not None else "-",
+                f"{w['slo_burn_rate']:.2f}" if w["slo_burn_rate"] is not None else "-",
+            ]
+        )
+    title = f"last {len(shown)} of {len(windows)} windows"
+    lines.append(
+        render_table(
+            ["window start", "arr", "done", "q max", "util", "p50", "p99", "burn"],
+            rows,
+            title=title,
+        )
+    )
+    exact = "exact" if cum.get("percentiles_exact", True) else "sampled"
+    lines.append(
+        f"  cumulative: {cum.get('requests', 0)} requests over "
+        f"{cum.get('makespan', 0):,} cycles, "
+        f"p50/p95/p99 {cum.get('p50', 0):,}/{cum.get('p95', 0):,}/"
+        f"{cum.get('p99', 0):,} ({exact}), "
+        f"throughput {cum.get('throughput_per_megacycle', 0.0):.2f} req/Mcycle, "
+        f"utilization {cum.get('utilization', 0.0):.1%}"
+    )
+    if record.get("slo_target_cycles") is not None:
+        lines.append(
+            f"  slo: target {record['slo_target_cycles']:,} cycles, "
+            f"{cum.get('violations', 0)} violations "
+            f"({cum.get('violation_rate', 0.0):.2%} of requests, "
+            f"budget {record.get('slo_budget', 0.0):.0%})"
+        )
+    return "\n".join(lines)
+
+
 def summarize_trace(records: list[dict[str, Any]], top_links: int = 8) -> str:
     """Full report: phase breakdown, metrics, and per-mesh heatmaps.
 
@@ -112,6 +215,9 @@ def summarize_trace(records: list[dict[str, Any]], top_links: int = 8) -> str:
     for r in records:
         if r.get("type") == "metrics":
             sections.append(render_metrics_snapshot(r.get("snapshot", {})))
+    for r in records:
+        if r.get("type") == "timeseries":
+            sections.append(render_timeseries(r))
     for r in records:
         if r.get("type") == "noc_profile":
             sections.append(

@@ -19,10 +19,14 @@ byte-identical to a ``--workers 1`` run.
 Observability flags:
 
 ``--trace out.jsonl``
-    Enable span tracing *and* per-link NoC profiling for the run, then write
-    spans + a metrics snapshot + accumulated NoC profiles to ``out.jsonl``
-    (summarize with ``scripts/report_trace.py out.jsonl``).  Worker-process
-    spans and profiles are merged in, so parallel traces are complete.
+    Enable span tracing, per-link NoC profiling, *and* serve time-series
+    collection for the run, then write spans + a metrics snapshot + serve
+    time-series + accumulated NoC profiles to ``out.jsonl`` (summarize with
+    ``scripts/report_trace.py out.jsonl``).  Worker-process spans, series,
+    and profiles are merged in, so parallel traces are complete.
+``--perfetto out.perfetto.json``
+    Write the same collected state as a Chrome trace-event file that opens
+    directly in https://ui.perfetto.dev.
 ``--metrics``
     Print the metrics-registry snapshot (drain-memo and artifact-cache hit
     rates, NoC flit counters, training losses) after the experiments finish.
@@ -131,7 +135,14 @@ def main(argv: list[str] | None = None) -> int:
         "--trace",
         metavar="PATH",
         default=None,
-        help="write a JSONL trace (spans + metrics + NoC link profiles) to PATH",
+        help="write a JSONL trace (spans + metrics + serve time-series + "
+        "NoC link profiles) to PATH",
+    )
+    parser.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event file for ui.perfetto.dev to PATH",
     )
     parser.add_argument(
         "--metrics",
@@ -149,9 +160,11 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
 
-    if args.trace:
+    traced = bool(args.trace or args.perfetto)
+    if traced:
         obs.enable_tracing()
         obs.enable_noc_profiling()
+        obs.enable_timeseries()
 
     try:
         for name in args.experiments:
@@ -161,11 +174,17 @@ def main(argv: list[str] | None = None) -> int:
             print(table)
             print(f"[{name} finished in {elapsed:.1f}s]\n")
     finally:
-        if args.trace:
-            path = obs.export_trace(args.trace)
-            print(f"[trace written to {path}]")
+        if traced:
+            if args.trace:
+                path = obs.export_trace(args.trace)
+                print(f"[trace written to {path}]")
+            if args.perfetto:
+                path = obs.export_perfetto(args.perfetto)
+                print(f"[perfetto trace written to {path}]")
             obs.disable_tracing()
             obs.disable_noc_profiling()
+            obs.disable_timeseries()
+            obs.clear_timeseries()
 
     print(cache_summary())
     if args.metrics:

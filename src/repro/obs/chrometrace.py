@@ -1,0 +1,295 @@
+"""Chrome trace-event (Perfetto-compatible) export of traces and serve runs.
+
+Converts the repo's JSONL trace bundle — span records plus ``timeseries``
+records (:mod:`repro.obs.timeseries`) — into the Trace Event JSON format, so
+any traced run, serial or parallel, opens directly in https://ui.perfetto.dev
+(or ``chrome://tracing``).  Two kinds of timelines share the file:
+
+* **Wall-clock spans** (pid 1): every span becomes a matched ``B``/``E``
+  duration pair, one track per originating thread.  Spans *adopted* from
+  worker processes (:meth:`~repro.obs.trace.TraceCollector.adopt_records`)
+  carry another process's wall clock, so they can partially overlap the
+  parent's spans despite sharing a thread name; the exporter lane-packs each
+  thread's spans — a span that neither nests inside nor lies disjoint from
+  the current stack spills to a fresh lane (tid) — guaranteeing every track
+  is a well-formed slice stack.
+* **Sim-time serve timelines** (pid 2+, one per time-series record, 1 cycle
+  rendered as 1 µs): each replica group is a track whose ``B``/``E`` slices
+  are the dispatched batches; each request contributes an ``arrival`` instant
+  slice on the arrivals track, an async ``queued`` interval from arrival to
+  dispatch, and a **flow arrow** (``s`` → ``f``) from its arrival into the
+  batch slice that served it — the members of one batch all point at the same
+  slice.
+
+:func:`validate_chrome_trace` is the structural half of the test suite:
+monotonic timestamps, per-track ``B``/``E`` stack matching, async pairing,
+and flow-id resolution.  It runs over every export the tests produce, so
+"opens in Perfetto" is checked mechanically, not by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_SPAN_PID = 1
+_ARRIVALS_TID = 10_000  # serve-pid track below the replica-group tracks
+
+
+def _meta(pid: int, name: str, tid: int | None = None, label: str = "") -> dict:
+    event = {
+        "ph": "M",
+        "pid": pid,
+        "ts": 0,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": label},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+# -- wall-clock span tracks ------------------------------------------------------------
+
+
+def _span_events(spans: list[dict]) -> list[dict]:
+    if not spans:
+        return []
+    t0 = min(s["t_wall"] for s in spans)
+    boxed = []
+    for s in spans:
+        start = round((s["t_wall"] - t0) * 1e6, 3)
+        end = round(start + s["dur_s"] * 1e6, 3)
+        boxed.append((start, end, s))
+    # Start-ordered; longer spans first at equal start so parents open before
+    # children that share the start timestamp.
+    boxed.sort(key=lambda b: (b[0], -b[1], b[2]["id"]))
+
+    events: list[dict] = [_meta(_SPAN_PID, "", label="wall-clock spans")]
+    # One lane = one (thread, overflow index) pair holding a well-formed
+    # slice stack; lanes: name -> list of (open_frames, events) per overflow.
+    lanes: dict[str, list[dict]] = {}
+    next_tid = 1
+
+    def close_frames(lane: dict, until_ts: float) -> None:
+        while lane["open"] and lane["open"][-1][1] <= until_ts:
+            _, f_end, f_span = lane["open"].pop()
+            lane["events"].append(
+                {"ph": "E", "pid": _SPAN_PID, "tid": lane["tid"], "ts": f_end}
+            )
+
+    for start, end, s in boxed:
+        thread = str(s.get("thread", "main"))
+        fits = None
+        for lane in lanes.setdefault(thread, []):
+            close_frames(lane, start)
+            top = lane["open"][-1] if lane["open"] else None
+            if top is None or (start >= top[0] and end <= top[1]):
+                fits = lane
+                break
+        if fits is None:
+            fits = {"tid": next_tid, "open": [], "events": []}
+            label = thread if not lanes[thread] else f"{thread} (overflow)"
+            events.append(_meta(_SPAN_PID, "", tid=next_tid, label=label))
+            next_tid += 1
+            lanes[thread].append(fits)
+        fits["events"].append(
+            {
+                "ph": "B",
+                "pid": _SPAN_PID,
+                "tid": fits["tid"],
+                "ts": start,
+                "name": s["name"],
+                "cat": "span",
+                "args": dict(s.get("attrs") or {}),
+            }
+        )
+        fits["open"].append((start, end, s))
+
+    for lane_list in lanes.values():
+        for lane in lane_list:
+            close_frames(lane, float("inf"))
+            events.extend(lane["events"])
+    return events
+
+
+# -- sim-time serve timelines ----------------------------------------------------------
+
+
+def _serve_events(record: dict, pid: int, series_index: int) -> list[dict]:
+    label = record.get("label", f"series {series_index}")
+    events: list[dict] = [
+        _meta(pid, "", label=f"serve {label} (sim cycles as us)"),
+        _meta(pid, "", tid=_ARRIVALS_TID, label="arrivals"),
+    ]
+    requests = [tuple(r) for r in record.get("requests", [])]
+    if not requests:
+        return events
+
+    replicas = sorted({r[4] for r in requests})
+    for replica in replicas:
+        events.append(_meta(pid, "", tid=replica + 1, label=f"replica group {replica}"))
+
+    # Batches: every request in a batch shares (replica, start, finish).
+    batches: dict[tuple[int, int, int], list[tuple]] = {}
+    for req in requests:
+        rid, arrival, start, finish, replica, batch_size = req
+        batches.setdefault((replica, start, finish), []).append(req)
+
+    batch_events: dict[int, list[dict]] = {r: [] for r in replicas}
+    for (replica, start, finish), members in sorted(batches.items()):
+        rids = [m[0] for m in members]
+        batch_events[replica].append(
+            {
+                "ph": "B",
+                "pid": pid,
+                "tid": replica + 1,
+                "ts": start,
+                "name": f"batch[{len(members)}]",
+                "cat": "batch",
+                "args": {"requests": rids, "service_cycles": finish - start},
+            }
+        )
+        for rid, arrival, _start, _finish, _replica, _bs in sorted(members):
+            flow_id = f"{series_index}.{rid}"
+            # Flow finish binds to the enclosing batch slice ("bp": "e").
+            batch_events[replica].append(
+                {
+                    "ph": "f", "bp": "e", "pid": pid, "tid": replica + 1,
+                    "ts": start, "name": "request", "cat": "request.flow",
+                    "id": flow_id,
+                }
+            )
+        batch_events[replica].append(
+            {"ph": "E", "pid": pid, "tid": replica + 1, "ts": finish}
+        )
+    for replica in replicas:
+        events.extend(batch_events[replica])
+
+    arrival_events: list[dict] = []
+    for rid, arrival, start, finish, replica, batch_size in sorted(
+        requests, key=lambda r: (r[1], r[0])
+    ):
+        flow_id = f"{series_index}.{rid}"
+        arrival_events.extend(
+            [
+                {
+                    "ph": "B", "pid": pid, "tid": _ARRIVALS_TID, "ts": arrival,
+                    "name": f"req {rid}", "cat": "arrival",
+                    "args": {"replica": replica, "batch_size": batch_size},
+                },
+                {"ph": "s", "pid": pid, "tid": _ARRIVALS_TID, "ts": arrival,
+                 "name": "request", "cat": "request.flow", "id": flow_id},
+                {"ph": "E", "pid": pid, "tid": _ARRIVALS_TID, "ts": arrival},
+                {"ph": "b", "pid": pid, "tid": _ARRIVALS_TID, "ts": arrival,
+                 "name": "queued", "cat": "request", "id": flow_id},
+                {"ph": "e", "pid": pid, "tid": _ARRIVALS_TID, "ts": start,
+                 "name": "queued", "cat": "request", "id": flow_id},
+            ]
+        )
+    events.extend(arrival_events)
+    return events
+
+
+# -- public API ------------------------------------------------------------------------
+
+
+def chrome_trace_events(records: Iterable[dict]) -> list[dict]:
+    """Convert JSONL trace-bundle records into Trace Event dicts.
+
+    Span records build the wall-clock process; each ``timeseries`` record
+    builds one sim-time serve process.  Other record types (``metrics``,
+    ``noc_profile``) have no timeline and are skipped.  Events come back
+    sorted by timestamp (stable, so per-track ordering is preserved).
+    """
+    records = list(records)
+    events = _span_events([r for r in records if r.get("type") == "span"])
+    series = [r for r in records if r.get("type") == "timeseries"]
+    for i, record in enumerate(series):
+        events.extend(_serve_events(record, pid=2 + i, series_index=i))
+    events.sort(key=lambda e: e["ts"])  # stable: ties keep generation order
+    return events
+
+
+def export_chrome_trace(records: Iterable[dict], path: str | Path) -> Path:
+    """Write ``records`` as a Chrome trace JSON file Perfetto can open."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.chrometrace"},
+    }
+    path.write_text(json.dumps(payload, default=float) + "\n")
+    return path
+
+
+def validate_chrome_trace(events: Iterable[dict[str, Any]]) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid).
+
+    Checks the invariants the exporter promises: non-decreasing timestamps,
+    per-``(pid, tid)`` ``B``/``E`` stacks that open before they close and
+    close everything they open, matched async ``b``/``e`` pairs per
+    ``(pid, cat, id)``, and every flow id carrying both its start (``s``)
+    and finish (``f``) endpoint.
+    """
+    problems: list[str] = []
+    last_ts: float | None = None
+    stacks: dict[tuple, list[dict]] = {}
+    async_open: dict[tuple, int] = {}
+    flow_started: set = set()
+    flow_finished: set = set()
+
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        ts = event.get("ts")
+        if ts is None:
+            problems.append(f"event {i}: missing ts")
+            continue
+        if ph != "M":
+            if last_ts is not None and ts < last_ts:
+                problems.append(f"event {i}: ts {ts} < previous {last_ts}")
+            last_ts = ts
+        if ph == "B":
+            stacks.setdefault((event.get("pid"), event.get("tid")), []).append(event)
+        elif ph == "E":
+            stack = stacks.get((event.get("pid"), event.get("tid")), [])
+            if not stack:
+                problems.append(f"event {i}: E with no open B on its track")
+            else:
+                opened = stack.pop()
+                if ts < opened["ts"]:
+                    problems.append(
+                        f"event {i}: E at {ts} before its B at {opened['ts']}"
+                    )
+        elif ph == "b":
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            async_open[key] = async_open.get(key, 0) + 1
+        elif ph == "e":
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            if async_open.get(key, 0) <= 0:
+                problems.append(f"event {i}: async e without b for {key}")
+            else:
+                async_open[key] -= 1
+        elif ph == "s":
+            flow_started.add((event.get("cat"), event.get("id")))
+        elif ph == "f":
+            flow_finished.add((event.get("cat"), event.get("id")))
+
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            problems.append(f"track pid={pid} tid={tid}: {len(stack)} unclosed B")
+    for key, n in async_open.items():
+        if n:
+            problems.append(f"async {key}: {n} unmatched b")
+    for key in flow_started - flow_finished:
+        problems.append(f"flow {key}: started but never finished")
+    for key in flow_finished - flow_started:
+        problems.append(f"flow {key}: finished but never started")
+    return problems

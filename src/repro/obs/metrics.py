@@ -19,10 +19,29 @@ deterministic for deterministic workloads (asserted by the test suite).
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Any
+from typing import Any, Sequence
 
-__all__ = ["MetricsRegistry", "METRICS"]
+__all__ = ["MetricsRegistry", "METRICS", "percentile"]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (need not be sorted).
+
+    The **one** percentile convention of the repo: the smallest value with at
+    least ``pct%`` of the sample at or below it — no interpolation, so every
+    quoted number was actually observed.  ``repro.serve.slo`` and the
+    time-series reservoirs (:mod:`repro.obs.timeseries`) both delegate here;
+    a cross-module property test asserts they stay in lockstep.
+    """
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct must be in (0, 100], got {pct}")
+    if len(values) == 0:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100 * len(ordered))
+    return ordered[rank - 1]
 
 
 def _key(name: str, labels: dict[str, Any]) -> str:

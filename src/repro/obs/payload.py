@@ -4,6 +4,7 @@ One ``pmap`` task's observability delta travels as a plain dict::
 
     {"metrics": <MetricsRegistry.snapshot()>,
      "spans": [<span record>, ...],
+     "timeseries": [<ServeTimeSeries.to_dict()>, ...],
      "noc_profiles": [<NoCProfile.to_dict()>, ...]}
 
 :func:`begin_capture` resets the worker's process-global state so the
@@ -15,15 +16,15 @@ tracing when a later untraced run reuses it.
 
 :func:`merge_payload` folds a payload into the parent's registries **in
 input order** — counters add, histogram extrema combine, span ids are
-remapped and root spans re-parent under the dispatching ``pmap`` span, NoC
-profiles accumulate per mesh shape — so a parallel run's trace and metrics
-are byte-identical to the serial run's for deterministic workloads,
-regardless of chunking.
+remapped and root spans re-parent under the dispatching ``pmap`` span,
+serve time-series append in collection order, NoC profiles accumulate per
+mesh shape — so a parallel run's trace and metrics are byte-identical to
+the serial run's for deterministic workloads, regardless of chunking.
 """
 
 from __future__ import annotations
 
-from . import nocprof
+from . import nocprof, timeseries
 from .metrics import METRICS
 from .nocprof import merge_profile_dict
 from .trace import TraceCollector, disable_tracing, enable_tracing, get_collector
@@ -31,11 +32,20 @@ from .trace import TraceCollector, disable_tracing, enable_tracing, get_collecto
 __all__ = ["begin_capture", "end_capture", "merge_payload"]
 
 
-def begin_capture(tracing: bool, profiling: bool) -> TraceCollector | None:
+def begin_capture(
+    tracing: bool, profiling: bool, ts_config: dict | None = None
+) -> TraceCollector | None:
     """Reset worker-global obs state ahead of one task; returns the task's
-    fresh collector when tracing, else None (tracing explicitly disabled)."""
+    fresh collector when tracing, else None (tracing explicitly disabled).
+
+    ``ts_config`` is the parent's :func:`~repro.obs.timeseries
+    .timeseries_config` when time-series collection is on (a dict, possibly
+    empty) and None when it is off — workers must mirror the parent's
+    collection state, not inherit whatever a previous task left enabled.
+    """
     METRICS.reset()
     nocprof.clear_profiles()
+    timeseries.clear_timeseries()
     collector: TraceCollector | None = None
     if tracing:
         collector = enable_tracing(TraceCollector())
@@ -45,6 +55,10 @@ def begin_capture(tracing: bool, profiling: bool) -> TraceCollector | None:
         nocprof.enable_noc_profiling()
     else:
         nocprof.disable_noc_profiling()
+    if ts_config is not None:
+        timeseries.enable_timeseries(**ts_config)
+    else:
+        timeseries.disable_timeseries()
     return collector
 
 
@@ -53,6 +67,7 @@ def end_capture(collector: TraceCollector | None) -> dict:
     return {
         "metrics": METRICS.snapshot(),
         "spans": collector.records() if collector is not None else [],
+        "timeseries": timeseries.global_timeseries(),
         "noc_profiles": [p.to_dict() for p in nocprof.global_profiles()],
     }
 
@@ -62,5 +77,7 @@ def merge_payload(payload: dict, parent_span_id: int | None = None) -> None:
     METRICS.merge_snapshot(payload["metrics"])
     if payload["spans"]:
         get_collector().adopt_records(payload["spans"], parent_id=parent_span_id)
+    for record in payload.get("timeseries", []):
+        timeseries.adopt_timeseries(record)
     for profile in payload["noc_profiles"]:
         merge_profile_dict(profile)

@@ -1,0 +1,252 @@
+"""Benchmark regression watchdog: diff fresh BENCH_*.json against baselines.
+
+The repo checks benchmark reports (``BENCH_noc.json``, ``BENCH_train.json``,
+``BENCH_experiments.json``, ``BENCH_serve.json``) into the tree.  This module
+compares a freshly generated report against the checked-in baseline under a
+declarative tolerance file (``benchmarks/tolerances.json``) so CI can flag
+regressions instead of humans eyeballing diffs.
+
+Tolerance rules — one JSON object per watched metric path::
+
+    {"path": "cases.ring_vs_mesh.drain_cycles", "rule": "equal"}
+    {"path": "table3_cold.speedup", "rule": "min_ratio", "value": 0.7,
+     "host_sensitive": true}
+
+* ``equal`` — fresh must equal baseline exactly.  For deterministic
+  simulator outputs (drain cycles, request counts, sim-time percentiles)
+  *any* drift is a bug, on any host.
+* ``min_ratio`` / ``max_ratio`` — fresh / baseline must stay ≥ / ≤
+  ``value``.  Used for speedups (may dip on slower hosts, hence a slack
+  ratio) and overheads.
+* ``min`` / ``max`` — absolute bound on the fresh value, baseline ignored.
+  Used for budget gates like "disabled-telemetry overhead < 2%".
+
+``host_sensitive: true`` marks wall-clock-derived gates: they are **skipped**
+(not failed) when the baseline was recorded under a different ``cpu_count``
+regime than the current host, because e.g. a parallel speedup measured on a
+16-core runner is meaningless on a 1-core container.  Regimes are compared
+via :func:`same_host_regime`; benchmark writers embed the recording host via
+``benchmarks/_host.py``.  Deterministic ``equal`` gates always apply.
+
+``scripts/check_bench.py`` is the CLI front end (CI runs it with
+``--report-only`` by default, hard-failing behind a label).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "Finding",
+    "check_bench",
+    "load_tolerances",
+    "lookup_path",
+    "render_findings",
+    "same_host_regime",
+]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """Outcome of one tolerance rule applied to one benchmark metric."""
+
+    bench: str  # e.g. "BENCH_serve"
+    path: str  # dotted metric path within the report
+    status: str  # "ok" | "regressed" | "skipped" | "missing"
+    detail: str
+    baseline: Any = None
+    fresh: Any = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+
+@dataclass
+class ToleranceRule:
+    path: str
+    rule: str  # equal | min_ratio | max_ratio | min | max
+    value: float | None = None
+    host_sensitive: bool = False
+
+    _RULES = ("equal", "min_ratio", "max_ratio", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.rule not in self._RULES:
+            raise ValueError(f"unknown rule {self.rule!r} for {self.path!r}")
+        if self.rule != "equal" and self.value is None:
+            raise ValueError(f"rule {self.rule!r} for {self.path!r} needs a value")
+
+
+@dataclass
+class BenchSpec:
+    """All tolerance rules for one BENCH_*.json file."""
+
+    name: str  # file stem, e.g. "BENCH_serve"
+    rules: list[ToleranceRule] = field(default_factory=list)
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.json"
+
+
+def load_tolerances(path: str | Path) -> list[BenchSpec]:
+    """Parse a tolerance file: ``{"BENCH_x": [{path, rule, ...}, ...], ...}``."""
+    raw = json.loads(Path(path).read_text())
+    specs = []
+    for name, rules in sorted(raw.items()):
+        specs.append(
+            BenchSpec(
+                name=name,
+                rules=[
+                    ToleranceRule(
+                        path=r["path"],
+                        rule=r["rule"],
+                        value=r.get("value"),
+                        host_sensitive=bool(r.get("host_sensitive", False)),
+                    )
+                    for r in rules
+                ],
+            )
+        )
+    return specs
+
+
+def lookup_path(report: dict, dotted: str) -> Any:
+    """Resolve ``"cases.lenet.p99"`` inside a nested dict (``_MISSING`` if absent)."""
+    node: Any = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return _MISSING
+        node = node[part]
+    return node
+
+
+def _report_cpu(report: dict) -> int | None:
+    """The cpu_count a report was recorded under.
+
+    New reports carry a ``host`` fingerprint (``benchmarks/_host.py``); older
+    ones kept a top-level ``cpu_count``.  ``None`` when neither is present.
+    """
+    host = report.get("host")
+    if isinstance(host, dict) and isinstance(host.get("cpu_count"), int):
+        return host["cpu_count"]
+    cpu = report.get("cpu_count")
+    return cpu if isinstance(cpu, int) else None
+
+
+def same_host_regime(baseline: dict, current_cpu: int | None = None) -> bool:
+    """Whether host-sensitive gates from ``baseline`` apply on this host.
+
+    The regime is the parallelism class: single-core (1) vs multi-core (>1).
+    Absolute timings differ across any two machines — the slack ratios absorb
+    that — but a speedup baseline from a multi-core runner is structurally
+    unreachable on one core, so those gates skip rather than cry wolf.
+    Unknown baseline hosts (no fingerprint) are treated as a different regime.
+    """
+    baseline_cpu = _report_cpu(baseline)
+    if baseline_cpu is None:
+        return False
+    if current_cpu is None:
+        current_cpu = os.cpu_count() or 1
+    return (baseline_cpu > 1) == (current_cpu > 1)
+
+
+def _apply_rule(
+    bench: str, rule: ToleranceRule, baseline: dict, fresh: dict, host_ok: bool
+) -> Finding:
+    base_val = lookup_path(baseline, rule.path)
+    fresh_val = lookup_path(fresh, rule.path)
+    if base_val is _MISSING:
+        return Finding(
+            bench, rule.path, "skipped", "metric absent from baseline (new gate?)"
+        )
+    if fresh_val is _MISSING:
+        return Finding(
+            bench, rule.path, "missing", "metric absent from fresh report",
+            baseline=base_val,
+        )
+    if rule.host_sensitive and not host_ok:
+        return Finding(
+            bench, rule.path, "skipped",
+            "host-sensitive gate, baseline from different cpu_count regime",
+            baseline=base_val, fresh=fresh_val,
+        )
+
+    if rule.rule == "equal":
+        ok = fresh_val == base_val
+        detail = "exact match" if ok else f"expected {base_val!r}, got {fresh_val!r}"
+    elif rule.rule in ("min_ratio", "max_ratio"):
+        if not isinstance(base_val, (int, float)) or not isinstance(fresh_val, (int, float)):
+            return Finding(
+                bench, rule.path, "regressed",
+                f"ratio rule on non-numeric values ({base_val!r} → {fresh_val!r})",
+                baseline=base_val, fresh=fresh_val,
+            )
+        if base_val == 0:
+            ok = fresh_val == 0
+            detail = "baseline is 0; fresh must be too" + ("" if ok else f", got {fresh_val!r}")
+        else:
+            ratio = fresh_val / base_val
+            if rule.rule == "min_ratio":
+                ok = ratio >= rule.value
+                detail = f"fresh/baseline = {ratio:.3f} (floor {rule.value})"
+            else:
+                ok = ratio <= rule.value
+                detail = f"fresh/baseline = {ratio:.3f} (ceiling {rule.value})"
+    else:  # min | max — absolute bound, baseline informational
+        if not isinstance(fresh_val, (int, float)):
+            return Finding(
+                bench, rule.path, "regressed",
+                f"bound rule on non-numeric value {fresh_val!r}",
+                baseline=base_val, fresh=fresh_val,
+            )
+        if rule.rule == "min":
+            ok = fresh_val >= rule.value
+            detail = f"value {fresh_val} (floor {rule.value})"
+        else:
+            ok = fresh_val <= rule.value
+            detail = f"value {fresh_val} (ceiling {rule.value})"
+
+    return Finding(
+        bench, rule.path, "ok" if ok else "regressed", detail,
+        baseline=base_val, fresh=fresh_val,
+    )
+
+
+def check_bench(
+    spec: BenchSpec,
+    baseline: dict | None,
+    fresh: dict | None,
+    current_cpu: int | None = None,
+) -> list[Finding]:
+    """Apply every rule of ``spec``; a None report skips the whole bench."""
+    if baseline is None:
+        return [Finding(spec.name, "*", "skipped", "no baseline report")]
+    if fresh is None:
+        return [Finding(spec.name, "*", "skipped", "no fresh report")]
+    host_ok = same_host_regime(baseline, current_cpu)
+    return [_apply_rule(spec.name, r, baseline, fresh, host_ok) for r in spec.rules]
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Aligned text report, one line per finding, worst states flagged."""
+    marks = {"ok": " ok ", "skipped": "skip", "missing": "MISS", "regressed": "FAIL"}
+    lines = []
+    width = max((len(f"{f.bench}:{f.path}") for f in findings), default=0)
+    for f in findings:
+        target = f"{f.bench}:{f.path}".ljust(width)
+        lines.append(f"[{marks[f.status]}] {target}  {f.detail}")
+    failed = sum(1 for f in findings if f.failed)
+    skipped = sum(1 for f in findings if f.status == "skipped")
+    lines.append(
+        f"{len(findings)} gate(s): {failed} failed, {skipped} skipped, "
+        f"{len(findings) - failed - skipped} ok"
+    )
+    return "\n".join(lines)

@@ -64,6 +64,8 @@ from ..obs import (
     merge_payload,
     noc_profiling_enabled,
     span,
+    timeseries_config,
+    timeseries_enabled,
     tracing_enabled,
 )
 from . import shm, warmpool
@@ -129,16 +131,18 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
-def _run_task(payload: tuple[Callable[[Any], Any], Any, bool, bool]) -> tuple[Any, dict]:
+def _run_task(
+    payload: tuple[Callable[[Any], Any], Any, bool, bool, dict | None]
+) -> tuple[Any, dict]:
     """Child-side wrapper: run one task with isolated observability state.
 
-    The child's registry/collector/profiles start empty for each task (a
-    warm pool worker serves many tasks across many ``pmap`` calls; with the
-    fork start method it also inherits the parent's accumulated state), so
-    what ships back is exactly this task's delta.
+    The child's registry/collector/profiles/series start empty for each task
+    (a warm pool worker serves many tasks across many ``pmap`` calls; with
+    the fork start method it also inherits the parent's accumulated state),
+    so what ships back is exactly this task's delta.
     """
-    fn, item, tracing, profiling = payload
-    collector = begin_capture(tracing, profiling)
+    fn, item, tracing, profiling, ts_config = payload
+    collector = begin_capture(tracing, profiling, ts_config)
     result = fn(item)
     return result, end_capture(collector)
 
@@ -147,8 +151,8 @@ def _run_chunk(payload: tuple) -> list[tuple[Any, dict]]:
     """Child-side chunk runner: the callable arrives pickled once per chunk
     (or as a shared-memory reference materialized on unpickle) and is applied
     to every item, each with per-task obs isolation."""
-    fn, items, tracing, profiling = payload
-    return [_run_task((fn, item, tracing, profiling)) for item in items]
+    fn, items, tracing, profiling, ts_config = payload
+    return [_run_task((fn, item, tracing, profiling, ts_config)) for item in items]
 
 
 def _serial(
@@ -240,6 +244,7 @@ def pmap(
     METRICS.inc("parallel.pmap.chunks", len(chunks), pool=name)
     tracing = tracing_enabled()
     profiling = noc_profiling_enabled()
+    ts_config = timeseries_config() if timeseries_enabled() else None
 
     with span("pmap", pool=name, workers=n, tasks=len(items), path=path):
         parent_span_id = get_collector().current_span_id() if tracing else None
@@ -264,7 +269,9 @@ def pmap(
                 if chunk is None:
                     return
                 pending.append(
-                    executor.submit(_run_chunk, (fn_payload, chunk, tracing, profiling))
+                    executor.submit(
+                        _run_chunk, (fn_payload, chunk, tracing, profiling, ts_config)
+                    )
                 )
 
         try:

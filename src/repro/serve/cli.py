@@ -10,9 +10,14 @@ replica-group layout and prints the run summary plus the SLO report::
 sweep and prints the latency-throughput Pareto table; ``--workers N``
 shards its configurations across worker processes (output is byte-identical
 to serial).  ``--trace`` / ``--metrics`` behave exactly like
-``repro-experiments``: spans + metrics
+``repro-experiments``: spans + metrics + per-run serve time-series
 (+ NoC profiles, when any plan needed fresh cycle-level drains) go to a
-JSONL file summarizable with ``scripts/report_trace.py``.
+JSONL file summarizable with ``scripts/report_trace.py``.  ``--perfetto``
+additionally (or instead) writes the same state as a Chrome trace-event
+file that opens in https://ui.perfetto.dev — one sim-time track per replica
+group with flow arrows from each arrival into the batch that served it.
+``--ts-window`` pins the time-series window width in cycles (default: 4096,
+auto-coarsening to keep at most 256 windows).
 """
 
 from __future__ import annotations
@@ -94,7 +99,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
-        help="write a JSONL trace (spans + metrics + NoC profiles) to PATH",
+        help="write a JSONL trace (spans + metrics + time-series + NoC "
+        "profiles) to PATH",
+    )
+    parser.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="write a Chrome trace-event file for ui.perfetto.dev to PATH",
+    )
+    parser.add_argument(
+        "--ts-window", type=int, default=None, metavar="CYCLES",
+        help="time-series window width in sim cycles (default: auto)",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -180,17 +194,28 @@ def main(argv: list[str] | None = None) -> int:
             f"--group-cores {args.group_cores} does not tile --cores {args.cores}"
         )
 
-    if args.trace:
+    traced = bool(args.trace or args.perfetto)
+    if traced:
         obs.enable_tracing()
         obs.enable_noc_profiling()
+        ts_config = {}
+        if args.ts_window is not None:
+            ts_config["window_cycles"] = args.ts_window
+        obs.enable_timeseries(**ts_config)
     try:
         status = _run_sweep(args) if args.sweep else _run_single(args)
     finally:
-        if args.trace:
-            path = obs.export_trace(args.trace)
-            print(f"[trace written to {path}]")
+        if traced:
+            if args.trace:
+                path = obs.export_trace(args.trace)
+                print(f"[trace written to {path}]")
+            if args.perfetto:
+                path = obs.export_perfetto(args.perfetto)
+                print(f"[perfetto trace written to {path}]")
             obs.disable_tracing()
             obs.disable_noc_profiling()
+            obs.disable_timeseries()
+            obs.clear_timeseries()
     if args.metrics:
         print(obs.METRICS.render())
     return status

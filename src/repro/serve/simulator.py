@@ -19,6 +19,10 @@ dispatches, and batch sizes feed :data:`repro.obs.METRICS`
 (``serve.requests``, ``serve.dispatches``, ``serve.latency_cycles`` ...).
 Per-request spans are deliberately not emitted — a serving sweep completes
 millions of requests, and the records themselves are the per-request truth.
+When time-series collection is on (:func:`repro.obs.timeseries_enabled`),
+the loop additionally feeds every arrival/dispatch/completion into a
+:class:`~repro.obs.timeseries.ServeTimeSeries`; when off, the cost is one
+``is None`` branch per event (budgeted by ``benchmarks/bench_serve.py``).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import heapq
 
 from ..obs import METRICS, span
+from ..obs.timeseries import start_series, timeseries_enabled
 from .cluster import Cluster
 from .results import RequestRecord, ServeResult
 from .scheduler import Scheduler
@@ -38,14 +43,24 @@ _ARRIVAL, _COMPLETION = 0, 1
 
 
 class ServeSimulator:
-    """Run one (cluster, scheduler, workload) configuration to completion."""
+    """Run one (cluster, scheduler, workload) configuration to completion.
+
+    ``slo`` only annotates telemetry: when a time-series is collected its
+    violation counts and burn rates are computed against this target.  The
+    pass/fail scoring itself stays in :func:`repro.serve.slo.evaluate_slo`.
+    """
 
     def __init__(
-        self, cluster: Cluster, scheduler: Scheduler, workload: LoadGenerator
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        workload: LoadGenerator,
+        slo: SLO | None = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.workload = workload
+        self.slo = slo
         scheduler.bind(cluster)
 
     def run(self) -> ServeResult:
@@ -56,6 +71,21 @@ class ServeSimulator:
             group_cores=self.cluster.group_cores,
             busy_cycles={g: 0 for g in range(self.cluster.num_groups)},
         )
+        ts = None
+        if timeseries_enabled():
+            ts = start_series(
+                label=(
+                    f"{self.cluster.scheme}/{self.scheduler.name} "
+                    f"{self.cluster.num_groups}x{self.cluster.group_cores}"
+                ),
+                groups=self.cluster.num_groups,
+                slo_cycles=self.slo.target_cycles if self.slo is not None else None,
+                attrs={
+                    "scheme": self.cluster.scheme,
+                    "scheduler": self.scheduler.name,
+                    "group_cores": self.cluster.group_cores,
+                },
+            )
         events: list[tuple[int, int, int, object]] = []
         free = list(range(self.cluster.num_groups))
         heapq.heapify(free)
@@ -77,6 +107,8 @@ class ServeSimulator:
                 result.busy_cycles[replica] += duration
                 METRICS.inc("serve.dispatches")
                 METRICS.observe("serve.batch_size", len(batch))
+                if ts is not None:
+                    ts.on_dispatch(now, replica, duration, len(batch))
                 push(now + duration, _COMPLETION, (replica, now, batch))
 
         with span(
@@ -99,6 +131,8 @@ class ServeSimulator:
                     if kind == _ARRIVAL:
                         assert isinstance(payload, Request)
                         METRICS.inc("serve.requests")
+                        if ts is not None:
+                            ts.on_arrival(now)
                         self.scheduler.enqueue(payload)
                     else:
                         replica, started, batch = payload
@@ -117,10 +151,17 @@ class ServeSimulator:
                             result.records.append(record)
                             METRICS.observe("serve.latency_cycles", record.latency)
                             METRICS.observe("serve.queue_cycles", record.queue_cycles)
+                            if ts is not None:
+                                ts.on_completion(
+                                    record.rid, record.arrival, record.start,
+                                    record.finish, replica, record.batch_size,
+                                )
                             follow_up = self.workload.on_completion(request, now)
                             if follow_up is not None:
                                 push(follow_up.arrival, _ARRIVAL, follow_up)
                 dispatch(now)
+            if ts is not None:
+                ts.finalize()
             sp.set(
                 requests=result.num_requests,
                 makespan=result.makespan,
@@ -136,6 +177,6 @@ def simulate_serving(
     slo: SLO | None = None,
 ) -> tuple[ServeResult, SLOReport | None]:
     """One-call convenience: run the loop and (optionally) score an SLO."""
-    result = ServeSimulator(cluster, scheduler, workload).run()
+    result = ServeSimulator(cluster, scheduler, workload, slo=slo).run()
     report = evaluate_slo(result, slo) if slo is not None else None
     return result, report

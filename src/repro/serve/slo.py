@@ -3,7 +3,10 @@
 Percentiles use the **nearest-rank** definition (the smallest value with at
 least ``p%`` of the sample at or below it) — no interpolation, so every
 quoted number is a latency that some request actually experienced, and the
-tests can check them against hand-computed traces.
+tests can check them against hand-computed traces.  The implementation is
+shared with the observability layer (:func:`repro.obs.metrics.percentile`),
+so SLO reports and time-series reservoirs quote identical quantiles; a
+cross-module property test enforces the convention.
 
 ``evaluate_slo`` folds a :class:`~repro.serve.results.ServeResult` against
 one :class:`SLO` into an :class:`SLOReport` and feeds the outcome into the
@@ -14,26 +17,14 @@ snapshots and traces like every other subsystem.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..analysis.tables import render_table
 from ..obs import METRICS
+from ..obs.metrics import percentile
 from .results import ServeResult
 
 __all__ = ["percentile", "SLO", "SLOReport", "evaluate_slo"]
-
-
-def percentile(values: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile of ``values`` (need not be sorted)."""
-    if not 0 < pct <= 100:
-        raise ValueError(f"pct must be in (0, 100], got {pct}")
-    if len(values) == 0:
-        raise ValueError("percentile of an empty sample")
-    ordered = sorted(values)
-    rank = math.ceil(pct / 100 * len(ordered))
-    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis import phase_breakdown, render_metrics_snapshot, summarize_trace
+from repro.analysis.trace_report import render_timeseries, sparkline
 from repro.obs import NoCProfile
 
 
@@ -104,3 +105,73 @@ class TestSummarizeTrace:
         records = [{"type": "noc_profile", **profile.to_dict()}]
         text = summarize_trace(records, top_links=2)
         assert "top 2" in text
+
+
+def _series_record(slo=None):
+    from repro.obs.timeseries import ServeTimeSeries
+
+    s = ServeTimeSeries("demo", groups=1, window_cycles=100, slo_cycles=slo)
+    for i in range(6):
+        arrival = i * 40
+        s.on_arrival(arrival)
+        s.on_dispatch(arrival, 0, 30, 1)
+        s.on_completion(i, arrival, arrival, arrival + 30, 0, 1)
+    s.finalize()
+    return s.to_dict()
+
+
+class TestSparkline:
+    def test_scales_to_series_max(self):
+        line = sparkline([0, 1, 2, 4])
+        assert len(line) == 4
+        assert line[0] == " "  # zero renders blank
+        assert line[-1] == "@"  # peak renders full
+
+    def test_empty_and_flat_zero(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0, 0]) == "   "
+
+
+class TestRenderTimeseries:
+    def test_panel_has_sparklines_table_and_cumulative(self):
+        text = render_timeseries(_series_record())
+        assert "serve time-series: demo" in text
+        assert "completions" in text and "|" in text
+        assert "window start" in text
+        assert "cumulative: 6 requests" in text
+        assert "slo" not in text.split("cumulative")[1]
+
+    def test_slo_lines_present_when_target_set(self):
+        text = render_timeseries(_series_record(slo=10))
+        assert "slo burn" in text
+        assert "slo: target 10 cycles" in text
+        assert "violations" in text
+
+    def test_empty_series_degrades(self):
+        from repro.obs.timeseries import ServeTimeSeries
+
+        s = ServeTimeSeries("idle", groups=2, window_cycles=50)
+        s.finalize()
+        text = render_timeseries(s.to_dict())
+        assert "no windows" in text
+
+    def test_table_caps_rows(self):
+        from repro.obs.timeseries import ServeTimeSeries
+
+        s = ServeTimeSeries("long", groups=1, window_cycles=10, max_windows=64)
+        for i in range(40):
+            s.on_arrival(i * 10)
+            s.on_dispatch(i * 10, 0, 5, 1)
+            s.on_completion(i, i * 10, i * 10, i * 10 + 5, 0, 1)
+        s.finalize()
+        text = render_timeseries(s.to_dict(), max_rows=5)
+        assert "last 5 of" in text
+
+    def test_summarize_trace_includes_series_panel(self):
+        records = [
+            span("experiment", 0, None, 1.0),
+            _series_record(),
+        ]
+        text = summarize_trace(records)
+        assert "per-phase time breakdown" in text
+        assert "serve time-series: demo" in text

@@ -7,14 +7,17 @@ import pytest
 from repro import obs
 
 
+def _reset() -> None:
+    obs.disable_tracing()
+    obs.get_collector().clear()
+    obs.nocprof.disable_noc_profiling()
+    obs.nocprof.clear_profiles()
+    obs.disable_timeseries()
+    obs.clear_timeseries()
+
+
 @pytest.fixture(autouse=True)
 def clean_obs_state():
-    obs.disable_tracing()
-    obs.get_collector().clear()
-    obs.nocprof.disable_noc_profiling()
-    obs.nocprof.clear_profiles()
+    _reset()
     yield
-    obs.disable_tracing()
-    obs.get_collector().clear()
-    obs.nocprof.disable_noc_profiling()
-    obs.nocprof.clear_profiles()
+    _reset()

@@ -1,0 +1,156 @@
+"""Tests for the Chrome trace-event (Perfetto) exporter."""
+
+import json
+
+from repro.obs.chrometrace import (
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.timeseries import ServeTimeSeries
+
+
+def _span(name, t_wall, dur_s, thread="main", sid=1, attrs=None):
+    return {
+        "type": "span",
+        "name": name,
+        "id": sid,
+        "parent": None,
+        "thread": thread,
+        "t_wall": t_wall,
+        "dur_s": dur_s,
+        "attrs": attrs or {},
+    }
+
+
+def _series_record():
+    s = ServeTimeSeries("unit", groups=2, window_cycles=100)
+    # Two requests batched together on replica 0, one solo on replica 1.
+    s.on_arrival(0)
+    s.on_arrival(5)
+    s.on_dispatch(10, 0, 40, 2)
+    s.on_arrival(20)
+    s.on_dispatch(20, 1, 30, 1)
+    s.on_completion(0, 0, 10, 50, 0, 2)
+    s.on_completion(1, 5, 10, 50, 0, 2)
+    s.on_completion(2, 20, 20, 50, 1, 1)
+    s.finalize()
+    return s.to_dict()
+
+
+class TestSpanEvents:
+    def test_nested_spans_validate(self):
+        records = [
+            _span("outer", 0.0, 1.0, sid=1),
+            _span("inner", 0.2, 0.5, sid=2),
+        ]
+        events = chrome_trace_events(records)
+        assert validate_chrome_trace(events) == []
+        names = [e["name"] for e in events if e["ph"] == "B"]
+        assert names == ["outer", "inner"]
+
+    def test_adopted_overlapping_spans_spill_to_overflow_lane(self):
+        # Two spans on the same thread name that partially overlap — the
+        # shape adopt_records produces when a worker's wall clock skews.
+        records = [
+            _span("parent-side", 0.0, 1.0, thread="MainThread", sid=1),
+            _span("worker-side", 0.5, 1.0, thread="MainThread", sid=2),
+        ]
+        events = chrome_trace_events(records)
+        assert validate_chrome_trace(events) == []
+        labels = [
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "MainThread" in labels
+        assert "MainThread (overflow)" in labels
+        # The two B events sit on different tids.
+        tids = {e["tid"] for e in events if e["ph"] == "B"}
+        assert len(tids) == 2
+
+    def test_disjoint_spans_share_a_lane(self):
+        records = [
+            _span("a", 0.0, 0.1, sid=1),
+            _span("b", 0.5, 0.1, sid=2),
+        ]
+        events = chrome_trace_events(records)
+        assert validate_chrome_trace(events) == []
+        tids = {e["tid"] for e in events if e["ph"] == "B"}
+        assert len(tids) == 1
+
+
+class TestServeEvents:
+    def test_batches_and_flows(self):
+        events = chrome_trace_events([_series_record()])
+        assert validate_chrome_trace(events) == []
+        batches = [e for e in events if e["ph"] == "B" and e.get("cat") == "batch"]
+        assert sorted(e["name"] for e in batches) == ["batch[1]", "batch[2]"]
+        two = next(e for e in batches if e["name"] == "batch[2]")
+        assert sorted(two["args"]["requests"]) == [0, 1]
+        # One flow start per request, each resolving into a batch slice.
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 3
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+        assert all(e.get("bp") == "e" for e in finishes)
+
+    def test_queued_intervals_pair_up(self):
+        events = chrome_trace_events([_series_record()])
+        b = sum(1 for e in events if e["ph"] == "b")
+        e_ = sum(1 for e in events if e["ph"] == "e")
+        assert b == e_ == 3
+
+    def test_multiple_series_get_distinct_pids_and_flow_ids(self):
+        events = chrome_trace_events([_series_record(), _series_record()])
+        assert validate_chrome_trace(events) == []
+        pids = {e["pid"] for e in events if e.get("cat") == "batch"}
+        assert pids == {2, 3}
+        flow_ids = {e["id"] for e in events if e["ph"] == "s"}
+        assert flow_ids == {"0.0", "0.1", "0.2", "1.0", "1.1", "1.2"}
+
+    def test_empty_series_exports_metadata_only(self):
+        s = ServeTimeSeries("empty", groups=1, window_cycles=10)
+        s.finalize()
+        events = chrome_trace_events([s.to_dict()])
+        assert validate_chrome_trace(events) == []
+        assert all(e["ph"] == "M" for e in events)
+
+
+class TestExportAndValidate:
+    def test_export_writes_perfetto_json(self, tmp_path):
+        out = tmp_path / "trace.perfetto.json"
+        path = export_chrome_trace([_series_record(), _span("run", 0.0, 0.5)], out)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["otherData"]["producer"] == "repro.obs.chrometrace"
+        assert validate_chrome_trace(payload["traceEvents"]) == []
+
+    def test_empty_records(self):
+        assert chrome_trace_events([]) == []
+        assert validate_chrome_trace([]) == []
+
+    def test_validator_catches_unmatched_end(self):
+        bad = [{"ph": "E", "pid": 1, "tid": 1, "ts": 5}]
+        assert any("no open B" in p for p in validate_chrome_trace(bad))
+
+    def test_validator_catches_unclosed_begin(self):
+        bad = [{"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "x"}]
+        assert any("unclosed B" in p for p in validate_chrome_trace(bad))
+
+    def test_validator_catches_time_regression(self):
+        bad = [
+            {"ph": "B", "pid": 1, "tid": 1, "ts": 10, "name": "x"},
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 20},
+            {"ph": "B", "pid": 1, "tid": 1, "ts": 5, "name": "y"},
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 6},
+        ]
+        assert any("<" in p for p in validate_chrome_trace(bad))
+
+    def test_validator_catches_dangling_flow(self):
+        bad = [{"ph": "s", "pid": 1, "tid": 1, "ts": 0, "cat": "c", "id": "1"}]
+        assert any("never finished" in p for p in validate_chrome_trace(bad))
+
+    def test_validator_catches_async_mismatch(self):
+        bad = [{"ph": "e", "pid": 1, "tid": 1, "ts": 0, "cat": "c", "id": "1"}]
+        assert any("without b" in p for p in validate_chrome_trace(bad))

@@ -1,0 +1,214 @@
+"""Tests for the benchmark regression watchdog and its CLI."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    BenchSpec,
+    ToleranceRule,
+    check_bench,
+    load_tolerances,
+    lookup_path,
+    render_findings,
+    same_host_regime,
+)
+
+_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(_ROOT / "scripts"))
+
+from check_bench import main as check_bench_main  # noqa: E402
+
+
+def _spec():
+    return BenchSpec(
+        name="BENCH_serve",
+        rules=[
+            ToleranceRule("cases.lenet.makespan_cycles", "equal"),
+            ToleranceRule("cases.lenet.speedup", "min_ratio", 0.7, host_sensitive=True),
+            ToleranceRule("overhead_pct", "max", 2.0, host_sensitive=True),
+        ],
+    )
+
+
+def _report(makespan=1000, speedup=2.0, overhead=1.0, cpu=1):
+    return {
+        "host": {"cpu_count": cpu},
+        "cases": {"lenet": {"makespan_cycles": makespan, "speedup": speedup}},
+        "overhead_pct": overhead,
+    }
+
+
+class TestRules:
+    def test_identical_reports_all_ok(self):
+        findings = check_bench(_spec(), _report(), _report(), current_cpu=1)
+        assert [f.status for f in findings] == ["ok", "ok", "ok"]
+        assert not any(f.failed for f in findings)
+
+    def test_equal_rule_flags_any_drift(self):
+        findings = check_bench(
+            _spec(), _report(), _report(makespan=1001), current_cpu=1
+        )
+        assert findings[0].status == "regressed"
+        assert findings[0].failed
+
+    def test_min_ratio_floor(self):
+        ok = check_bench(_spec(), _report(), _report(speedup=1.5), current_cpu=1)
+        assert ok[1].status == "ok"  # 1.5/2.0 = 0.75 >= 0.7
+        bad = check_bench(_spec(), _report(), _report(speedup=1.0), current_cpu=1)
+        assert bad[1].status == "regressed"  # 0.5 < 0.7
+
+    def test_max_absolute_bound(self):
+        bad = check_bench(_spec(), _report(), _report(overhead=3.5), current_cpu=1)
+        assert bad[2].status == "regressed"
+
+    def test_missing_fresh_metric(self):
+        fresh = _report()
+        del fresh["cases"]["lenet"]["makespan_cycles"]
+        findings = check_bench(_spec(), _report(), fresh, current_cpu=1)
+        assert findings[0].status == "missing"
+        assert findings[0].failed
+
+    def test_metric_new_in_fresh_is_skipped(self):
+        base = _report()
+        del base["overhead_pct"]
+        findings = check_bench(_spec(), base, _report(), current_cpu=1)
+        assert findings[2].status == "skipped"
+
+    def test_host_sensitive_gates_skip_across_regimes(self):
+        # Baseline from a multi-core runner, checked on one core: wall-clock
+        # gates skip, the deterministic equal gate still applies.
+        findings = check_bench(
+            _spec(), _report(cpu=16), _report(speedup=0.1, overhead=99.0),
+            current_cpu=1,
+        )
+        assert [f.status for f in findings] == ["ok", "skipped", "skipped"]
+
+    def test_unknown_baseline_host_is_different_regime(self):
+        base = _report()
+        del base["host"]
+        assert not same_host_regime(base, current_cpu=1)
+        findings = check_bench(_spec(), base, _report(overhead=99.0), current_cpu=1)
+        assert findings[2].status == "skipped"
+
+    def test_legacy_top_level_cpu_count(self):
+        base = _report()
+        del base["host"]
+        base["cpu_count"] = 1
+        assert same_host_regime(base, current_cpu=1)
+        assert not same_host_regime(base, current_cpu=8)
+
+    def test_none_reports_skip_whole_bench(self):
+        findings = check_bench(_spec(), None, _report())
+        assert len(findings) == 1 and findings[0].status == "skipped"
+        findings = check_bench(_spec(), _report(), None)
+        assert len(findings) == 1 and findings[0].status == "skipped"
+
+    def test_baseline_zero_ratio(self):
+        spec = BenchSpec("B", [ToleranceRule("x", "min_ratio", 0.5)])
+        host = {"host": {"cpu_count": 1}}
+        ok = check_bench(spec, {"x": 0, **host}, {"x": 0}, current_cpu=1)
+        assert ok[0].status == "ok"
+        bad = check_bench(spec, {"x": 0, **host}, {"x": 5}, current_cpu=1)
+        assert bad[0].status == "regressed"
+
+    def test_ratio_on_non_numeric_regresses(self):
+        spec = BenchSpec("B", [ToleranceRule("x", "min_ratio", 0.5)])
+        findings = check_bench(
+            spec, {"x": "fast", "host": {"cpu_count": 1}}, {"x": "slow"},
+            current_cpu=1,
+        )
+        assert findings[0].status == "regressed"
+
+
+class TestRuleValidation:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            ToleranceRule("x", "fuzzy")
+
+    def test_value_required_for_bounds(self):
+        with pytest.raises(ValueError, match="needs a value"):
+            ToleranceRule("x", "min_ratio")
+
+    def test_lookup_path_missing_segments(self):
+        from repro.obs.regress import _MISSING
+
+        assert lookup_path({"a": {"b": 1}}, "a.b") == 1
+        assert lookup_path({"a": {"b": 1}}, "a.c") is _MISSING
+        assert lookup_path({"a": 1}, "a.b") is _MISSING
+
+
+class TestRender:
+    def test_render_summarizes_counts(self):
+        findings = check_bench(
+            _spec(), _report(), _report(makespan=2, overhead=9.0), current_cpu=1
+        )
+        text = render_findings(findings)
+        assert "[FAIL]" in text and "[ ok ]" in text
+        assert "2 failed" in text
+
+
+class TestCheckBenchCli:
+    def _write_env(self, tmp_path, baseline, fresh):
+        tolerances = {
+            "BENCH_serve": [
+                {"path": "cases.lenet.makespan_cycles", "rule": "equal"},
+                {
+                    "path": "overhead_pct", "rule": "max", "value": 2.0,
+                    "host_sensitive": True,
+                },
+            ]
+        }
+        (tmp_path / "tolerances.json").write_text(json.dumps(tolerances))
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir()
+        fresh_dir.mkdir()
+        (base_dir / "BENCH_serve.json").write_text(json.dumps(baseline))
+        (fresh_dir / "BENCH_serve.json").write_text(json.dumps(fresh))
+        return [
+            "--tolerances", str(tmp_path / "tolerances.json"),
+            "--baseline-dir", str(base_dir),
+            "--fresh-dir", str(fresh_dir),
+        ]
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        argv = self._write_env(tmp_path, _report(), _report())
+        assert check_bench_main(argv) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        argv = self._write_env(tmp_path, _report(), _report(makespan=999))
+        assert check_bench_main(argv) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_report_only_never_fails(self, tmp_path, capsys):
+        argv = self._write_env(tmp_path, _report(), _report(makespan=999))
+        assert check_bench_main(argv + ["--report-only"]) == 0
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_unknown_bench_selection_errors(self, tmp_path):
+        argv = self._write_env(tmp_path, _report(), _report())
+        with pytest.raises(SystemExit):
+            check_bench_main(argv + ["--bench", "BENCH_nope"])
+
+    def test_checked_in_baselines_pass_as_their_own_fresh(self, capsys):
+        # The real tolerance file applied to the repo's own reports must be
+        # clean: baseline == fresh, so only host-regime skips are allowed.
+        argv = [
+            "--tolerances", str(_ROOT / "benchmarks" / "tolerances.json"),
+            "--baseline-dir", str(_ROOT),
+            "--fresh-dir", str(_ROOT),
+        ]
+        assert check_bench_main(argv) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_load_real_tolerance_file(self):
+        specs = load_tolerances(_ROOT / "benchmarks" / "tolerances.json")
+        names = {s.name for s in specs}
+        assert names == {
+            "BENCH_experiments", "BENCH_noc", "BENCH_serve", "BENCH_train"
+        }
+        assert all(s.rules for s in specs)
