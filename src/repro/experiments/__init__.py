@@ -8,6 +8,7 @@ from .table3 import run_table3
 from .table4 import run_table4
 from .table5 import run_table5
 from .table6 import run_table6
+from .table_mcm import run_table_mcm
 from .tableS1 import run_tableS1
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_tableS1",
+    "run_table_mcm",
     "run_motivation",
 ]

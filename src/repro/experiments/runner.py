@@ -43,6 +43,7 @@ from .table3 import render_table3, run_table3
 from .table4 import render_table4, run_table4
 from .table5 import render_table5, run_table5
 from .table6 import render_table6, run_table6
+from .table_mcm import render_table_mcm, run_table_mcm
 from .tableS1 import render_tableS1, run_tableS1
 
 __all__ = ["run_all", "EXPERIMENTS"]
@@ -55,6 +56,7 @@ EXPERIMENTS = (
     "table5",
     "table6",
     "tableS1",
+    "tableMCM",
     "ablation-mask-exponent",
     "ablation-mapping",
     "ablation-noc",
@@ -88,6 +90,8 @@ def _run_one(name: str, profile: ExperimentProfile, workers: int | None = None) 
         return render_table6(run_table6(profile, workers=workers))
     if name == "tableS1":
         return render_tableS1(run_tableS1(profile, workers=workers))
+    if name == "tableMCM":
+        return render_table_mcm(run_table_mcm(profile, workers=workers))
     if name == "ablation-mask-exponent":
         return render_mask_exponent(run_mask_exponent_ablation(profile))
     if name == "ablation-mapping":

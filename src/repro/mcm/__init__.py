@@ -1,0 +1,36 @@
+"""Multi-chip-module (MCM) scale-out: mesh-of-meshes + cross-chip pipelines.
+
+The paper stops at one 16-core CMP.  Scope (PAPERS.md) shows the way past
+that ceiling: merge several chips into an MCM, assign contiguous layer
+ranges to chips as pipeline stages, and stream batches through the
+cross-chip pipeline.  This package supplies the pieces:
+
+* :mod:`repro.mcm.topology` — :class:`InterChipLink` (slower/narrower than
+  the on-chip NoC) and :class:`McmTopology`, a mesh of :class:`Mesh2D`
+  chips;
+* :mod:`repro.mcm.pipeline` — :func:`build_mcm_plan` packs compute layers
+  into per-chip stages (MAC-balanced, contiguous) where each stage is
+  internally an intra-layer partition plan over that chip's cores;
+* :mod:`repro.mcm.service` — :class:`PipelineService`, the pipelined
+  service-time profile (latency = sum of stages + inter-chip transfers,
+  steady-state interval = slowest stage) consumed by
+  :class:`repro.serve.PipelinedCluster`.
+
+Modules here never import :mod:`repro.serve` at module scope (the serve
+package imports us); the per-stage cycle simulations go through
+``service_for_plan`` via a lazy import inside :func:`mcm_service`.
+"""
+
+from .pipeline import McmPipelinePlan, McmStage, build_mcm_plan
+from .service import PipelineService, mcm_service
+from .topology import InterChipLink, McmTopology
+
+__all__ = [
+    "InterChipLink",
+    "McmTopology",
+    "McmStage",
+    "McmPipelinePlan",
+    "build_mcm_plan",
+    "PipelineService",
+    "mcm_service",
+]

@@ -19,7 +19,9 @@ any traced run, serial or parallel, opens directly in https://ui.perfetto.dev
   slice on the arrivals track, an async ``queued`` interval from arrival to
   dispatch, and a **flow arrow** (``s`` → ``f``) from its arrival into the
   batch slice that served it — the members of one batch all point at the same
-  slice.
+  slice.  Pipelined MCM runs additionally get one track per
+  (pipeline replica, chip): the chip's stage busy windows, overlap-clipped,
+  with the gaps being pipeline bubbles.
 
 :func:`validate_chrome_trace` is the structural half of the test suite:
 monotonic timestamps, per-track ``B``/``E`` stack matching, async pairing,
@@ -41,6 +43,7 @@ __all__ = [
 
 _SPAN_PID = 1
 _ARRIVALS_TID = 10_000  # serve-pid track below the replica-group tracks
+_STAGE_TID_BASE = 20_000  # per-(pipeline, chip) stage tracks, below arrivals
 
 
 def _meta(pid: int, name: str, tid: int | None = None, label: str = "") -> dict:
@@ -173,6 +176,8 @@ def _serve_events(record: dict, pid: int, series_index: int) -> list[dict]:
     for replica in replicas:
         events.extend(batch_events[replica])
 
+    events.extend(_stage_events(record, pid))
+
     arrival_events: list[dict] = []
     for rid, arrival, start, finish, replica, batch_size in sorted(
         requests, key=lambda r: (r[1], r[0])
@@ -195,6 +200,47 @@ def _serve_events(record: dict, pid: int, series_index: int) -> list[dict]:
             ]
         )
     events.extend(arrival_events)
+    return events
+
+
+def _stage_events(record: dict, pid: int) -> list[dict]:
+    """Per-chip pipeline-stage tracks from a series' ``stage_intervals``.
+
+    Each (pipeline replica, stage) pair becomes its own track: the busy
+    windows of that stage's chip, overlap-clipped into a flat slice
+    sequence so every track is a well-formed stack.  Gaps between slices
+    are the pipeline bubbles the cumulative metrics quantify.
+    """
+    intervals = [tuple(i) for i in record.get("stage_intervals", [])]
+    if not intervals:
+        return []
+    stride = max(i[3] for i in intervals) + 1
+    tracks: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for start, end, replica, stage in intervals:
+        tracks.setdefault((replica, stage), []).append((start, end))
+
+    events: list[dict] = []
+    for (replica, stage), spans in sorted(tracks.items()):
+        tid = _STAGE_TID_BASE + replica * stride + stage
+        events.append(
+            _meta(pid, "", tid=tid, label=f"pipeline {replica} chip {stage}")
+        )
+        spans.sort()
+        prev_end = None
+        for start, end in spans:
+            if prev_end is not None and start < prev_end:
+                start = prev_end
+            if end <= start:
+                continue
+            events.append(
+                {
+                    "ph": "B", "pid": pid, "tid": tid, "ts": start,
+                    "name": f"stage {stage}", "cat": "stage",
+                    "args": {"pipeline": replica, "chip": stage},
+                }
+            )
+            events.append({"ph": "E", "pid": pid, "tid": tid, "ts": end})
+            prev_end = end
     return events
 
 

@@ -4,7 +4,11 @@ One :class:`ServeTimeSeries` accumulates the per-request events of one
 serving run — arrivals, batch dispatches, completions — into fixed-width
 **sim-time windows** (cycle-aligned, not wall-clock), yielding per-window
 arrival/completion rates, queue depth, per-replica-group utilization,
-nearest-rank latency percentiles, and SLO burn rate.  End-of-run aggregate
+nearest-rank latency percentiles, and SLO burn rate — plus, for pipelined
+MCM clusters (``stages > 0``), per-stage busy cycles per window and
+cumulative per-stage occupancy / bubble fractions (idle share relative to
+the bottleneck stage), fed through :meth:`ServeTimeSeries.on_stage_busy`
+and retained as intervals for the Perfetto per-chip tracks.  End-of-run aggregate
 views hide warmup transients, queue buildup, and burn-rate spikes; the
 series is the time-resolved lens every scale-out PR debugs through.
 
@@ -140,7 +144,7 @@ class _Window:
 
     __slots__ = (
         "start", "end", "arrivals", "completions", "dispatches", "violations",
-        "queue_depth_end", "queue_depth_max", "busy", "latencies",
+        "queue_depth_end", "queue_depth_max", "busy", "stage_busy", "latencies",
     )
 
     def __init__(self, start: int, end: int, depth: int, reservoir: Reservoir) -> None:
@@ -153,6 +157,8 @@ class _Window:
         self.queue_depth_end = depth
         self.queue_depth_max = depth
         self.busy: dict[int, int] = {}
+        #: (replica, stage) -> busy cycles; only fed by pipelined clusters.
+        self.stage_busy: dict[tuple[int, int], int] = {}
         self.latencies = reservoir
 
     def merge(self, other: "_Window") -> None:
@@ -166,6 +172,8 @@ class _Window:
         self.queue_depth_max = max(self.queue_depth_max, other.queue_depth_max)
         for replica, cycles in other.busy.items():
             self.busy[replica] = self.busy.get(replica, 0) + cycles
+        for key, cycles in other.stage_busy.items():
+            self.stage_busy[key] = self.stage_busy.get(key, 0) + cycles
         self.latencies.absorb(other.latencies)
 
 
@@ -191,6 +199,7 @@ class ServeTimeSeries:
         slo_budget: float = DEFAULT_SLO_BUDGET,
         seed: int = 0,
         attrs: dict[str, Any] | None = None,
+        stages: int = 0,
     ) -> None:
         if window_cycles is not None and window_cycles <= 0:
             raise ValueError(
@@ -212,6 +221,8 @@ class ServeTimeSeries:
         self.slo_budget = slo_budget
         self.seed = seed
         self.attrs = dict(attrs or {})
+        #: Pipeline stages per replica group (0 = not a pipelined cluster).
+        self.stages = max(0, stages)
 
         self._width = window_cycles or DEFAULT_WINDOW_CYCLES
         self._coalesced = 0
@@ -221,6 +232,8 @@ class ServeTimeSeries:
         self._reservoir_seq = 0
         #: open busy intervals [(start, end, replica)] awaiting window close.
         self._active: list[tuple[int, int, int]] = []
+        #: open per-stage busy intervals [(start, end, replica, stage)].
+        self._stage_active: list[tuple[int, int, int, int]] = []
         self._queue_depth = 0
         self._finalized = False
 
@@ -235,6 +248,11 @@ class ServeTimeSeries:
         self._queue_sum = 0
         self._queue_depth_max = 0
         self._busy_total: dict[int, int] = {}
+        self._stage_busy_total: dict[tuple[int, int], int] = {}
+        #: first `request_cap` (start, end, replica, stage) stage intervals,
+        #: kept for the Perfetto per-chip tracks.
+        self._stage_intervals: list[tuple[int, int, int, int]] = []
+        self._stage_intervals_dropped = 0
         self._first_arrival: int | None = None
         self._last_finish: int | None = None
         self._requests: list[tuple[int, int, int, int, int, int]] = []
@@ -298,6 +316,16 @@ class ServeTimeSeries:
             if end > window.end:
                 still_active.append((start, end, replica))
         self._active = still_active
+        if self._stage_active:
+            still_staged: list[tuple[int, int, int, int]] = []
+            for start, end, replica, stage in self._stage_active:
+                overlap = min(end, window.end) - max(start, window.start)
+                if overlap > 0:
+                    key = (replica, stage)
+                    window.stage_busy[key] = window.stage_busy.get(key, 0) + overlap
+                if end > window.end:
+                    still_staged.append((start, end, replica, stage))
+            self._stage_active = still_staged
 
     # -- event hooks (called by the serve simulator) -------------------------------
 
@@ -318,6 +346,24 @@ class ServeTimeSeries:
         self._queue_depth -= batch_size
         self._active.append((cycle, cycle + duration, replica))
         self._busy_total[replica] = self._busy_total.get(replica, 0) + duration
+
+    def on_stage_busy(self, start: int, end: int, replica: int, stage: int) -> None:
+        """Record one pipeline stage's busy window for one batch.
+
+        Fed at dispatch time by the serving loop for pipelined clusters
+        (``stages > 0``); like replica busy intervals, the window overlap
+        is attributed when windows close.
+        """
+        if end <= start:
+            return
+        self._ensure_window(start)
+        self._stage_active.append((start, end, replica, stage))
+        key = (replica, stage)
+        self._stage_busy_total[key] = self._stage_busy_total.get(key, 0) + (end - start)
+        if len(self._stage_intervals) < self.request_cap:
+            self._stage_intervals.append((start, end, replica, stage))
+        else:
+            self._stage_intervals_dropped += 1
 
     def on_completion(
         self, rid: int, arrival: int, start: int, finish: int,
@@ -362,7 +408,7 @@ class ServeTimeSeries:
         burn: float | None = None
         if self.slo_cycles is not None and w.completions:
             burn = round(w.violations / w.completions / self.slo_budget, 4)
-        return {
+        out = {
             "start": w.start,
             "end": w.end,
             "arrivals": w.arrivals,
@@ -382,6 +428,11 @@ class ServeTimeSeries:
             "completion_rate_per_megacycle": round(w.completions * 1e6 / width, 4),
             "slo_burn_rate": burn,
         }
+        if self.stages:
+            out["stage_busy_cycles"] = {
+                f"{r}/{s}": w.stage_busy[(r, s)] for r, s in sorted(w.stage_busy)
+            }
+        return out
 
     def _cumulative_dict(self) -> dict[str, Any]:
         n = self._completions
@@ -390,7 +441,7 @@ class ServeTimeSeries:
             span = self._last_finish - self._first_arrival
         busy = sum(self._busy_total.values())
         good = n - self._violations
-        return {
+        out = {
             "arrivals": self._arrivals,
             "requests": n,
             "dispatches": self._dispatches,
@@ -416,11 +467,28 @@ class ServeTimeSeries:
             "utilization": busy / (span * self.groups) if span else 0.0,
             "busy_cycles": {str(r): self._busy_total[r] for r in sorted(self._busy_total)},
         }
+        if self.stages:
+            per_stage = {s: 0 for s in range(self.stages)}
+            for (_, stage), cycles in self._stage_busy_total.items():
+                per_stage[stage] = per_stage.get(stage, 0) + cycles
+            peak = max(per_stage.values(), default=0)
+            out["stage_busy_cycles"] = {str(s): per_stage[s] for s in sorted(per_stage)}
+            out["stage_occupancy"] = {
+                str(s): (per_stage[s] / (span * self.groups) if span else 0.0)
+                for s in sorted(per_stage)
+            }
+            # Bubble = idle share relative to the bottleneck stage: the
+            # slowest stage is never bubbled, faster stages wait on it.
+            out["stage_bubble_fraction"] = {
+                str(s): (1.0 - per_stage[s] / peak if peak else 0.0)
+                for s in sorted(per_stage)
+            }
+        return out
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize (finalizing first) into the JSONL trace-record shape."""
         self.finalize()
-        return {
+        out = {
             "type": "timeseries",
             "label": self.label,
             "groups": self.groups,
@@ -438,6 +506,11 @@ class ServeTimeSeries:
             "windows": [self._window_dict(w) for w in self._windows],
             "cumulative": self._cumulative_dict(),
         }
+        if self.stages:
+            out["stages"] = self.stages
+            out["stage_intervals"] = [list(i) for i in self._stage_intervals]
+            out["stage_intervals_dropped"] = self._stage_intervals_dropped
+        return out
 
 
 # -- process-global collection state ---------------------------------------------------
@@ -495,10 +568,12 @@ def start_series(
     groups: int,
     slo_cycles: int | None = None,
     attrs: dict[str, Any] | None = None,
+    stages: int = 0,
 ) -> ServeTimeSeries:
     """Create and register a series under the enabled configuration."""
     series = ServeTimeSeries(
-        label=label, groups=groups, slo_cycles=slo_cycles, attrs=attrs, **_config
+        label=label, groups=groups, slo_cycles=slo_cycles, attrs=attrs,
+        stages=stages, **_config,
     )
     _series.append(series)
     return series

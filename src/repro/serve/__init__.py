@@ -13,6 +13,10 @@ discrete-event serving simulator on top of the single-pass engine
   from the existing engine (one simulation per distinct plan, memoized);
 * :mod:`repro.serve.scheduler` — pluggable dispatch policies: FIFO,
   shortest-job-first, per-model priority, and a DRAM-amortizing batcher;
+* :mod:`repro.serve.pipelined` — :class:`PipelinedCluster`, replica groups
+  of cross-chip pipelines on an MCM (:mod:`repro.mcm`): per-request latency
+  is the sum of stage times plus inter-chip transfers, steady-state
+  throughput is set by the slowest stage;
 * :mod:`repro.serve.simulator` — the event loop tying the three together;
 * :mod:`repro.serve.slo` / :mod:`repro.serve.results` — per-request records,
   p50/p95/p99 latency, goodput, SLO-violation rate, and utilization,
@@ -32,6 +36,7 @@ from .cluster import (
     default_group_map,
     service_for_plan,
 )
+from .pipelined import PipelinedCluster, build_mcm_cluster
 from .results import RequestRecord, ServeResult
 from .scheduler import (
     BatchingScheduler,
@@ -64,6 +69,8 @@ __all__ = [
     "build_spec_cluster",
     "default_group_map",
     "clear_service_memo",
+    "PipelinedCluster",
+    "build_mcm_cluster",
     "Scheduler",
     "FIFOScheduler",
     "SJFScheduler",

@@ -18,6 +18,14 @@ file that opens in https://ui.perfetto.dev — one sim-time track per replica
 group with flow arrows from each arrival into the batch that served it.
 ``--ts-window`` pins the time-series window width in cycles (default: 4096,
 auto-coarsening to keep at most 256 windows).
+
+``--chips N`` (N > 1) switches both modes to multi-chip-module serving via
+:mod:`repro.mcm`: ``--stages`` chips form one pipeline (default: all of
+them), the rest replicate it, and ``--interchip-*`` override the link
+timing.  ``--sweep`` then runs the Table MCM single-chip-vs-MCM race::
+
+    repro-serve --chips 4 --stages 2 --scheduler batch --rate 60 --trace t.jsonl
+    repro-serve --chips 4 --sweep --profile fast
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from .. import obs
 from ..cli import add_pool_flag, add_workers_flag, apply_pool, apply_workers
 from ..models.zoo import SPEC_BUILDERS, get_spec
 from .cluster import build_spec_cluster
+from .pipelined import build_mcm_cluster
 from .scheduler import SCHEDULERS, make_scheduler
 from .simulator import simulate_serving
 from .slo import SLO
@@ -46,10 +55,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--network", default="convnet", choices=sorted(SPEC_BUILDERS),
         help="model-zoo network to serve (default: convnet)",
     )
-    parser.add_argument("--cores", type=int, default=16, help="total chip cores")
+    parser.add_argument(
+        "--cores", type=int, default=16,
+        help="chip cores (per-chip cores when --chips > 1)",
+    )
     parser.add_argument(
         "--group-cores", type=int, default=16,
-        help="cores per replica group (1 = data parallel, cores = model parallel)",
+        help="cores per replica group (1 = data parallel, cores = model "
+        "parallel; single-chip mode only)",
+    )
+    parser.add_argument(
+        "--chips", type=int, default=1,
+        help="chips on the MCM package (> 1 switches to mesh-of-meshes "
+        "pipelined serving via repro.mcm)",
+    )
+    parser.add_argument(
+        "--stages", type=int, default=None,
+        help="pipeline depth in chips (default: --chips, one package-wide "
+        "pipeline; --chips/--stages pipelines serve as replica groups)",
+    )
+    parser.add_argument(
+        "--interchip-bytes-per-cycle", type=int, default=None, metavar="B",
+        help="inter-chip link bandwidth in bytes per NoC cycle",
+    )
+    parser.add_argument(
+        "--interchip-hop-latency", type=int, default=None, metavar="CYCLES",
+        help="inter-chip per-hop head latency in NoC cycles",
+    )
+    parser.add_argument(
+        "--interchip-sync-overhead", type=int, default=None, metavar="CYCLES",
+        help="inter-chip fixed synchronization overhead in NoC cycles",
+    )
+    parser.add_argument(
+        "--memory-channels", type=int, default=None, metavar="M",
+        help="shared DRAM channels serializing input streaming across "
+        "replica groups (default: one independent channel per group)",
     )
     parser.add_argument(
         "--scheme", default="traditional", choices=("traditional", "structure"),
@@ -146,17 +186,58 @@ def _build_workload(args: argparse.Namespace) -> LoadGenerator:
     )
 
 
+def _interchip_link(args: argparse.Namespace):
+    """An InterChipLink from the --interchip-* overrides (None = defaults)."""
+    overrides = {
+        "bytes_per_cycle": args.interchip_bytes_per_cycle,
+        "hop_latency_cycles": args.interchip_hop_latency,
+        "sync_overhead_cycles": args.interchip_sync_overhead,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if not overrides:
+        return None
+    from ..mcm.topology import InterChipLink
+
+    return InterChipLink(**overrides)
+
+
 def _run_single(args: argparse.Namespace) -> int:
     spec = get_spec(args.network)
-    cluster = build_spec_cluster(
-        spec, args.cores, args.group_cores, scheme=args.scheme
-    )
+    if args.chips > 1:
+        cluster = build_mcm_cluster(
+            spec,
+            args.chips,
+            cores_per_chip=args.cores,
+            stages=args.stages,
+            scheme=args.scheme,
+            link=_interchip_link(args),
+            memory_channels=args.memory_channels,
+        )
+    else:
+        cluster = build_spec_cluster(
+            spec, args.cores, args.group_cores, scheme=args.scheme,
+            memory_channels=args.memory_channels,
+        )
     slo = SLO(int(args.slo_factor * cluster.unloaded_latency(spec.name)))
     scheduler = make_scheduler(args.scheduler, max_batch=args.batch_size)
     result, report = simulate_serving(
         cluster, scheduler, _build_workload(args), slo=slo
     )
     print(cluster.describe())
+    if args.chips > 1:
+        svc = cluster.service(spec.name)
+        print(cluster.topology.describe())
+        for i, (stage, transfer) in enumerate(
+            zip(svc.stage_cycles, svc.transfer_cycles)
+        ):
+            print(
+                f"  stage {i}: compute {stage:,} cycles, "
+                f"inbound transfer {transfer:,} cycles"
+            )
+        print(
+            f"  steady-state interval {svc.interval_cycles:,} cycles "
+            f"(input load {svc.input_load_cycles:,})"
+        )
     print(
         f"unloaded latency {cluster.unloaded_latency(spec.name):,} cycles, "
         f"capacity {cluster.capacity_per_megacycle(spec.name):.1f} req/Mcycle"
@@ -170,6 +251,23 @@ def _run_single(args: argparse.Namespace) -> int:
 
 def _run_sweep(args: argparse.Namespace) -> int:
     from ..experiments import get_profile
+
+    if args.chips > 1:
+        from ..experiments.table_mcm import render_table_mcm, run_table_mcm
+
+        rows = run_table_mcm(
+            get_profile(args.profile),
+            chips=args.chips,
+            cores_per_chip=args.cores,
+            scheduler=args.scheduler,
+            slo_factor=args.slo_factor,
+            seed=args.seed,
+            workers=args.workers,
+            link=_interchip_link(args),
+            memory_channels=args.memory_channels,
+        )
+        print(render_table_mcm(rows))
+        return 0
     from ..experiments.tableS1 import render_tableS1, run_tableS1
 
     rows = run_tableS1(
@@ -189,9 +287,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     apply_workers(args.workers)
     apply_pool(args.pool)
-    if args.cores % args.group_cores:
+    if args.chips < 1:
+        parser.error(f"--chips must be >= 1, got {args.chips}")
+    if args.chips == 1:
+        if args.stages is not None:
+            parser.error("--stages requires --chips > 1")
+        if args.cores % args.group_cores:
+            parser.error(
+                f"--group-cores {args.group_cores} does not tile --cores {args.cores}"
+            )
+    elif args.stages is not None and args.chips % args.stages:
         parser.error(
-            f"--group-cores {args.group_cores} does not tile --cores {args.cores}"
+            f"--stages {args.stages} does not tile --chips {args.chips}"
         )
 
     traced = bool(args.trace or args.perfetto)

@@ -19,8 +19,13 @@ after the first rate point.
 
 A deliberate simplification, documented here rather than hidden: replica
 groups are modeled as independent ``group_cores``-core chips (own mesh, own
-memory channel).  Cross-group interference on the shared memory controller
-is future work — see ROADMAP.md.
+memory channel).  The ``memory_channels`` knob bounds that optimism:
+set to ``M``, at most ``M`` groups stream their DRAM input concurrently —
+a dispatch whose channel is busy waits for the earliest channel to free
+before its input load starts (compute stays independent per group).  The
+default (``None``) keeps the independent-channel behavior bit-exactly.
+Full memory-controller contention inside the cycle engine is still future
+work — see ROADMAP.md.
 """
 
 from __future__ import annotations
@@ -188,16 +193,25 @@ class Cluster:
     ``services`` maps model names to the :class:`PlanService` every group
     uses for that model (each group can serve any model — weight residency
     across models is not modeled, see the module docstring).
+
+    ``memory_channels`` caps how many groups may stream DRAM input
+    concurrently (``None`` = one independent channel per group, the
+    historical behavior, preserved bit-exactly).
     """
 
     total_cores: int
     group_cores: int
     services: dict[str, PlanService]
     scheme: str = "traditional"
+    memory_channels: int | None = None
 
     def __post_init__(self) -> None:
         if self.total_cores <= 0 or self.group_cores <= 0:
             raise ValueError("core counts must be positive")
+        if self.memory_channels is not None and self.memory_channels <= 0:
+            raise ValueError(
+                f"memory_channels must be positive, got {self.memory_channels}"
+            )
         if self.total_cores % self.group_cores:
             raise ValueError(
                 f"{self.group_cores}-core groups do not tile {self.total_cores} cores"
@@ -244,6 +258,7 @@ def build_spec_cluster(
     group_cores: int,
     scheme: str = "traditional",
     sim_config: SimConfig | None = None,
+    memory_channels: int | None = None,
 ) -> Cluster:
     """Cluster serving one network from its spec under a geometry-only scheme."""
     plan = build_replica_plan(spec, group_cores, scheme)
@@ -253,4 +268,5 @@ def build_spec_cluster(
         group_cores=group_cores,
         services={spec.name: svc},
         scheme=scheme,
+        memory_channels=memory_channels,
     )

@@ -1,0 +1,149 @@
+"""Pipelines x replicas: serving an MCM as replica groups of chip pipelines.
+
+A :class:`PipelinedCluster` carves an MCM's chips into ``pipelines``
+identical replica groups, each a ``stages``-chip pipeline running one
+:class:`~repro.mcm.service.PipelineService`.  It exposes the same surface
+as :class:`~repro.serve.cluster.Cluster` (``num_groups`` / ``service`` /
+``unloaded_latency`` / ``describe``), so all four schedulers and the
+discrete-event loop compose unchanged — the loop detects pipelined
+services by their ``interval_cycles`` attribute and frees the pipeline
+front (``occupancy_cycles``) before the batch tail completes
+(``batch_cycles``), which is what makes a pipeline out-stream a
+monolithic group.
+
+Capacity scales as ``pipelines / interval``: the slowest stage sets each
+pipeline's rhythm, and replica groups multiply it — the pipelines x
+replicas composition from Scope (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mcm.pipeline import McmPipelinePlan, build_mcm_plan
+from ..mcm.service import PipelineService, mcm_service
+from ..mcm.topology import InterChipLink, McmTopology
+from ..models.spec import NetworkSpec
+from ..sim.engine import SimConfig
+
+__all__ = ["PipelinedCluster", "build_mcm_cluster"]
+
+
+@dataclass
+class PipelinedCluster:
+    """An MCM partitioned into homogeneous pipeline replica groups.
+
+    ``topology`` describes ONE pipeline's chips (``stages`` chips); the
+    package holds ``pipelines`` copies of it.  ``services`` maps model
+    names to the :class:`PipelineService` every pipeline uses, mirroring
+    :class:`~repro.serve.cluster.Cluster.services`.
+    """
+
+    topology: McmTopology
+    pipelines: int
+    services: dict[str, PipelineService]
+    scheme: str = "traditional"
+    memory_channels: int | None = None
+    plans: dict[str, McmPipelinePlan] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pipelines <= 0:
+            raise ValueError(f"pipelines must be positive, got {self.pipelines}")
+        if not self.services:
+            raise ValueError("cluster needs at least one model service")
+        for name, svc in self.services.items():
+            if svc.chips != self.topology.num_chips:
+                raise ValueError(
+                    f"service {name!r} spans {svc.chips} chips, "
+                    f"pipelines have {self.topology.num_chips}"
+                )
+            if svc.cores_per_chip != self.topology.cores_per_chip:
+                raise ValueError(
+                    f"service {name!r} assumes {svc.cores_per_chip}-core chips, "
+                    f"topology has {self.topology.cores_per_chip}"
+                )
+        if self.memory_channels is not None and self.memory_channels <= 0:
+            raise ValueError(
+                f"memory_channels must be positive, got {self.memory_channels}"
+            )
+
+    @property
+    def stages(self) -> int:
+        """Chips (= pipeline stages) per replica group."""
+        return self.topology.num_chips
+
+    @property
+    def num_chips(self) -> int:
+        """Total chips on the package across all pipelines."""
+        return self.pipelines * self.stages
+
+    @property
+    def num_groups(self) -> int:
+        return self.pipelines
+
+    @property
+    def group_cores(self) -> int:
+        return self.topology.total_cores
+
+    @property
+    def total_cores(self) -> int:
+        return self.pipelines * self.topology.total_cores
+
+    def service(self, model: str) -> PipelineService:
+        try:
+            return self.services[model]
+        except KeyError:
+            raise KeyError(
+                f"no service for model {model!r}; cluster serves {sorted(self.services)}"
+            ) from None
+
+    def unloaded_latency(self, model: str) -> int:
+        """Queue-free response time of one request through the pipeline."""
+        return self.service(model).latency_cycles
+
+    def capacity_per_megacycle(self, model: str) -> float:
+        """Peak sustainable rate: every pipeline completes one request per
+        steady-state interval."""
+        svc = self.service(model)
+        return self.pipelines * 1e6 / max(svc.interval_cycles, 1)
+
+    def describe(self) -> str:
+        return (
+            f"{self.pipelines} x {self.stages}-chip pipelines "
+            f"({self.scheme}, {self.topology.cores_per_chip} cores/chip, "
+            f"{self.total_cores} cores)"
+        )
+
+
+def build_mcm_cluster(
+    spec: NetworkSpec,
+    chips: int,
+    cores_per_chip: int = 16,
+    stages: int | None = None,
+    scheme: str = "traditional",
+    link: InterChipLink | None = None,
+    sim_config: SimConfig | None = None,
+    memory_channels: int | None = None,
+) -> PipelinedCluster:
+    """Serve one network from an MCM of ``chips`` chips.
+
+    ``stages`` chips form one pipeline (default: all of them — a single
+    package-wide pipeline); ``chips // stages`` pipelines serve in
+    parallel as replica groups.
+    """
+    if chips <= 0:
+        raise ValueError(f"chips must be positive, got {chips}")
+    stages = chips if stages is None else stages
+    if stages <= 0 or chips % stages:
+        raise ValueError(f"--stages {stages} does not tile {chips} chips")
+    topology = McmTopology.build(stages, cores_per_chip, link=link)
+    plan = build_mcm_plan(spec, topology, scheme)
+    svc = mcm_service(plan, sim_config=sim_config, model=spec.name)
+    return PipelinedCluster(
+        topology=topology,
+        pipelines=chips // stages,
+        services={spec.name: svc},
+        scheme=scheme,
+        memory_channels=memory_channels,
+        plans={spec.name: plan},
+    )

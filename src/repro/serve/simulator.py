@@ -1,11 +1,27 @@
 """The request-level discrete-event loop.
 
-Two event kinds drive the simulation: request **arrivals** (from the load
-generator) and replica-group **completions**.  After every event the
-scheduler is drained onto free replica groups; a dispatched batch occupies
-its group for :meth:`~repro.serve.cluster.PlanService.batch_cycles` and all
-of its requests complete when the batch drains.  Closed-loop generators are
-fed each completion so they can issue the client's next request.
+Three event kinds drive the simulation: request **arrivals** (from the load
+generator), replica-group **releases** (a pipelined group's front drains and
+can accept the next batch), and **completions** (every request of a batch
+finishes).  After every event the scheduler is drained onto free replica
+groups.  For a plain :class:`~repro.serve.cluster.PlanService` a batch
+occupies its group for ``batch_cycles`` and release coincides with
+completion — exactly the historical two-event loop, preserved bit-exactly.
+A :class:`~repro.mcm.service.PipelineService` (detected by its
+``interval_cycles`` attribute) instead frees its group after
+``occupancy_cycles`` — the pipeline front drains while the tail is still
+in flight — with a backpressure floor: a pipeline completes at most one
+request per steady-state interval, so a batch dispatched hot on the heels
+of its predecessor finishes no earlier than ``previous finish + k *
+interval`` (the extra wait is charged to the group as busy time).
+
+``cluster.memory_channels`` (when set) serializes DRAM input streaming
+across co-resident groups: each dispatch claims the earliest-free of M
+channels before its input load starts, and the stream wait delays the
+whole batch.  ``None`` keeps the independent-channel behavior bit-exactly.
+
+Closed-loop generators are fed each completion so they can issue the
+client's next request.
 
 Determinism: the event heap orders by ``(cycle, insertion sequence)`` and
 free replica groups are taken lowest-id first, so a seeded workload always
@@ -21,8 +37,10 @@ Per-request spans are deliberately not emitted — a serving sweep completes
 millions of requests, and the records themselves are the per-request truth.
 When time-series collection is on (:func:`repro.obs.timeseries_enabled`),
 the loop additionally feeds every arrival/dispatch/completion into a
-:class:`~repro.obs.timeseries.ServeTimeSeries`; when off, the cost is one
-``is None`` branch per event (budgeted by ``benchmarks/bench_serve.py``).
+:class:`~repro.obs.timeseries.ServeTimeSeries` — including per-stage busy
+intervals for pipelined clusters (occupancy/bubble metrics, per-chip
+Perfetto tracks); when off, the cost is one ``is None`` branch per event
+(budgeted by ``benchmarks/bench_serve.py`` and ``bench_mcm.py``).
 """
 
 from __future__ import annotations
@@ -39,11 +57,14 @@ from .workload import LoadGenerator, Request
 
 __all__ = ["ServeSimulator", "simulate_serving"]
 
-_ARRIVAL, _COMPLETION = 0, 1
+_ARRIVAL, _COMPLETION, _RELEASE = 0, 1, 2
 
 
 class ServeSimulator:
     """Run one (cluster, scheduler, workload) configuration to completion.
+
+    ``cluster`` is any object with the :class:`~repro.serve.cluster.Cluster`
+    surface — including :class:`~repro.serve.pipelined.PipelinedCluster`.
 
     ``slo`` only annotates telemetry: when a time-series is collected its
     violation counts and burn rates are computed against this target.  The
@@ -62,6 +83,17 @@ class ServeSimulator:
         self.workload = workload
         self.slo = slo
         scheduler.bind(cluster)
+
+    def _pipeline_stages(self) -> int:
+        """Stage count for telemetry: 0 when no service is pipelined."""
+        return max(
+            (
+                len(getattr(svc, "stage_cycles", ()))
+                for svc in self.cluster.services.values()
+                if getattr(svc, "interval_cycles", None) is not None
+            ),
+            default=0,
+        )
 
     def run(self) -> ServeResult:
         result = ServeResult(
@@ -85,31 +117,78 @@ class ServeSimulator:
                     "scheduler": self.scheduler.name,
                     "group_cores": self.cluster.group_cores,
                 },
+                stages=self._pipeline_stages(),
             )
         events: list[tuple[int, int, int, object]] = []
         free = list(range(self.cluster.num_groups))
         heapq.heapify(free)
         seq = 0
 
+        # Hot-loop locals: the event loop runs millions of iterations per
+        # sweep, so global/attribute lookups are bound once here.  Pure
+        # aliasing — the event sequence is bit-identical.
+        heappush, heappop = heapq.heappush, heapq.heappop
+        inc, observe = METRICS.inc, METRICS.observe
+        scheduler = self.scheduler
+        get_service = self.cluster.service
+        busy_cycles = result.busy_cycles
+
+        # M shared DRAM channels (next-free cycle each), or None for the
+        # historical one-independent-channel-per-group model.
+        mem = getattr(self.cluster, "memory_channels", None)
+        channels: list[int] | None = [0] * mem if mem else None
+        # Per-replica last batch finish: the backpressure floor for
+        # pipelined groups (a pipeline emits one completion per interval).
+        last_finish: dict[int, int] = {}
+
         def push(cycle: int, kind: int, payload: object) -> None:
             nonlocal seq
-            heapq.heappush(events, (cycle, seq, kind, payload))
+            heappush(events, (cycle, seq, kind, payload))
             seq += 1
 
         def dispatch(now: int) -> None:
-            while free and len(self.scheduler):
-                batch = self.scheduler.next_batch(now)
+            while free and len(scheduler):
+                batch = scheduler.next_batch(now)
                 if not batch:
                     break
-                service = self.cluster.service(batch[0].model)
-                duration = service.batch_cycles(len(batch))
-                replica = heapq.heappop(free)
-                result.busy_cycles[replica] += duration
-                METRICS.inc("serve.dispatches")
-                METRICS.observe("serve.batch_size", len(batch))
+                service = get_service(batch[0].model)
+                k = len(batch)
+                duration = service.batch_cycles(k)
+                wait = 0
+                if channels is not None and service.input_load_cycles > 0:
+                    channel_free = heappop(channels)
+                    stream_start = max(now, channel_free)
+                    wait = stream_start - now
+                    heappush(channels, stream_start + service.input_load_cycles)
+                    if wait:
+                        observe("serve.memory_channel.wait_cycles", wait)
+                replica = heappop(free)
+                finish = now + wait + duration
+                busy = wait + duration
+                interval = getattr(service, "interval_cycles", None)
+                if interval is not None:
+                    prev = last_finish.get(replica)
+                    if prev is not None and prev + k * interval > finish:
+                        delay = prev + k * interval - finish
+                        finish += delay
+                        observe("serve.pipeline.backpressure_cycles", delay)
+                    else:
+                        delay = 0
+                    busy = wait + service.occupancy_cycles(k) + delay
+                    last_finish[replica] = finish
+                release = now + busy
+                busy_cycles[replica] += busy
+                inc("serve.dispatches")
+                observe("serve.batch_size", k)
                 if ts is not None:
-                    ts.on_dispatch(now, replica, duration, len(batch))
-                push(now + duration, _COMPLETION, (replica, now, batch))
+                    ts.on_dispatch(now, replica, busy, k)
+                    if interval is not None and ts.stages:
+                        self._feed_stage_intervals(ts, service, replica, now + wait, k)
+                if release < finish:
+                    push(release, _RELEASE, replica)
+                    push(finish, _COMPLETION, (replica, now, batch, False))
+                else:
+                    push(finish, _COMPLETION, (replica, now, batch, True))
 
         with span(
             "serve.run",
@@ -118,6 +197,9 @@ class ServeSimulator:
             groups=self.cluster.num_groups,
             group_cores=self.cluster.group_cores,
         ) as sp:
+            enqueue = scheduler.enqueue
+            records_append = result.records.append
+            workload_completion = self.workload.on_completion
             for request in self.workload.initial():
                 push(request.arrival, _ARRIVAL, request)
             while events:
@@ -127,16 +209,19 @@ class ServeSimulator:
                 # one instant (a batcher can group them) and a completion
                 # freeing a replica can serve an arrival at the same cycle.
                 while events and events[0][0] == now:
-                    _, _, kind, payload = heapq.heappop(events)
+                    _, _, kind, payload = heappop(events)
                     if kind == _ARRIVAL:
                         assert isinstance(payload, Request)
-                        METRICS.inc("serve.requests")
+                        inc("serve.requests")
                         if ts is not None:
                             ts.on_arrival(now)
-                        self.scheduler.enqueue(payload)
+                        enqueue(payload)
+                    elif kind == _RELEASE:
+                        heappush(free, payload)
                     else:
-                        replica, started, batch = payload
-                        heapq.heappush(free, replica)
+                        replica, started, batch, free_now = payload
+                        if free_now:
+                            heappush(free, replica)
                         for request in batch:
                             record = RequestRecord(
                                 rid=request.rid,
@@ -148,15 +233,15 @@ class ServeSimulator:
                                 batch_size=len(batch),
                                 priority=request.priority,
                             )
-                            result.records.append(record)
-                            METRICS.observe("serve.latency_cycles", record.latency)
-                            METRICS.observe("serve.queue_cycles", record.queue_cycles)
+                            records_append(record)
+                            observe("serve.latency_cycles", record.latency)
+                            observe("serve.queue_cycles", record.queue_cycles)
                             if ts is not None:
                                 ts.on_completion(
                                     record.rid, record.arrival, record.start,
                                     record.finish, replica, record.batch_size,
                                 )
-                            follow_up = self.workload.on_completion(request, now)
+                            follow_up = workload_completion(request, now)
                             if follow_up is not None:
                                 push(follow_up.arrival, _ARRIVAL, follow_up)
                 dispatch(now)
@@ -168,6 +253,27 @@ class ServeSimulator:
                 utilization=round(result.utilization, 4),
             )
         return result
+
+    @staticmethod
+    def _feed_stage_intervals(ts, service, replica: int, start: int, k: int) -> None:
+        """Report each stage's busy window for one batch to the time-series.
+
+        Steady-state model: stage ``s`` starts after the upstream first
+        item (its inbound transfer included) and stays busy for its own
+        first-item time plus ``(k - 1)`` intervals.  Empty stages (no
+        layers) are skipped — the chip is idle, which is exactly what the
+        bubble metric should show.
+        """
+        interval = service.interval_cycles
+        entry = start
+        for s, (stage, transfer) in enumerate(
+            zip(service.stage_cycles, service.transfer_cycles)
+        ):
+            entry += transfer
+            first = stage + (service.input_load_cycles if s == 0 else 0)
+            if first > 0:
+                ts.on_stage_busy(entry, entry + first + (k - 1) * interval, replica, s)
+            entry += first
 
 
 def simulate_serving(

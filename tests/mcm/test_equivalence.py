@@ -1,0 +1,72 @@
+"""Degenerate-case equivalence: the MCM layer collapses onto existing models.
+
+Two properties pin ``repro.mcm`` to the code it generalizes:
+
+* an MCM of N one-core chips with a NoC-matched link IS the single-chip
+  layer pipeline of :mod:`repro.partition.pipeline` — per-stage compute,
+  transfers, latency, and steady-state interval all reproduce
+  ``PipelinePlan``'s numbers exactly;
+* a 1-chip / 1-stage MCM serve run is bit-identical to the existing
+  single-chip ``ServeResult`` — same records, same busy accounting — so
+  the pipelined event-loop path is a strict generalization, not a fork.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.chip import ChipConfig
+from repro.mcm import InterChipLink, McmTopology, build_mcm_plan, mcm_service
+from repro.models import lenet_spec
+from repro.noc.packet import NoCConfig
+from repro.noc.topology import Mesh2D
+from repro.partition.pipeline import build_pipeline_plan
+from repro.serve import PoissonWorkload, build_mcm_cluster, build_spec_cluster
+from repro.serve.scheduler import make_scheduler
+from repro.serve.simulator import ServeSimulator
+
+
+class TestPerCoreStagesReproducePipelinePlan:
+    @settings(max_examples=6, deadline=None)
+    @given(num_stages=st.integers(min_value=2, max_value=8))
+    def test_stagewise_numbers_match(self, num_stages):
+        spec = lenet_spec()
+        noc = NoCConfig()
+        topo = McmTopology.build(
+            num_stages, cores_per_chip=1, link=InterChipLink.match_noc(noc)
+        )
+        svc = mcm_service(build_mcm_plan(spec, topo))
+
+        ref = build_pipeline_plan(spec, num_stages)
+        core_model = ChipConfig.table2(16).core_model()
+        mesh = Mesh2D.for_nodes(num_stages)
+        compute, transfers = ref._stage_times(core_model, mesh, noc)
+
+        assert list(svc.stage_cycles) == compute
+        assert list(svc.transfer_cycles) == [0] + transfers
+        assert svc.body_cycles == ref.single_pass_latency(core_model, mesh, noc)
+        assert svc.interval_cycles == ref.steady_state_interval(core_model, mesh, noc)
+
+
+class TestSingleStageServeBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        scheme=st.sampled_from(["traditional", "structure"]),
+        scheduler=st.sampled_from(["fifo", "batch"]),
+        rate=st.sampled_from([20.0, 80.0, 200.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_records_and_busy_identical(self, scheme, scheduler, rate, seed):
+        spec = lenet_spec()
+        mcm = build_mcm_cluster(spec, 1, cores_per_chip=16, stages=1, scheme=scheme)
+        chip = build_spec_cluster(spec, 16, 16, scheme=scheme)
+        assert mcm.unloaded_latency(spec.name) == chip.unloaded_latency(spec.name)
+
+        def run(cluster):
+            workload = PoissonWorkload(rate, 80, seed=seed, mix={spec.name: 1.0})
+            sched = make_scheduler(scheduler, max_batch=4)
+            return ServeSimulator(cluster, sched, workload).run()
+
+        a, b = run(mcm), run(chip)
+        assert a.records == b.records
+        assert a.busy_cycles == b.busy_cycles
+        assert a.makespan == b.makespan

@@ -1,0 +1,90 @@
+"""Per-chip stage assignment and the MCM pipeline plan."""
+
+import pytest
+
+from repro.mcm import McmStage, McmTopology, build_mcm_plan
+from repro.mcm.pipeline import stage_subspec
+from repro.models import lenet_spec
+from repro.partition.pipeline import balanced_stage_split
+
+
+class TestBuildMcmPlan:
+    def test_stages_cover_all_compute_layers_in_order(self):
+        spec = lenet_spec()
+        plan = build_mcm_plan(spec, McmTopology.build(2, cores_per_chip=4))
+        assert plan.num_stages == 2
+        flattened = [l for s in plan.stages for l in s.layers]
+        assert flattened == spec.compute_layers()
+
+    def test_split_matches_balanced_stage_split(self):
+        spec = lenet_spec()
+        topo = McmTopology.build(4, cores_per_chip=4)
+        plan = build_mcm_plan(spec, topo)
+        assert [s.layers for s in plan.stages] == balanced_stage_split(
+            spec.compute_layers(), 4
+        )
+
+    def test_stage_placement_follows_snake_order(self):
+        topo = McmTopology.build(4, cores_per_chip=2)
+        plan = build_mcm_plan(lenet_spec(), topo)
+        assert [s.chip for s in plan.stages] == topo.snake_order()
+        for i in range(plan.num_stages - 1):
+            assert plan.transfer_hops(i) == 1
+
+    def test_more_chips_than_layers_leaves_empty_stages(self):
+        spec = lenet_spec()
+        chips = len(spec.compute_layers()) + 3
+        plan = build_mcm_plan(spec, McmTopology.build(chips, cores_per_chip=2))
+        empty = [s for s in plan.stages if not s.layers]
+        assert empty
+        assert plan.occupied_stages == len(spec.compute_layers())
+        for stage in empty:
+            assert stage.plan is None
+            assert stage.output_bytes == 0
+            assert stage.macs == 0
+
+    def test_inbound_transfers_use_predecessor_output_bytes(self):
+        topo = McmTopology.build(2, cores_per_chip=4)
+        plan = build_mcm_plan(lenet_spec(), topo)
+        transfers = plan.inbound_transfer_cycles()
+        assert transfers[0] == 0
+        assert transfers[1] == topo.link.transfer_cycles(
+            plan.stages[0].output_bytes, plan.transfer_hops(0)
+        )
+
+    def test_imbalance_at_least_one(self):
+        plan = build_mcm_plan(lenet_spec(), McmTopology.build(4, cores_per_chip=2))
+        assert plan.imbalance() >= 1.0
+
+    def test_transfer_hops_bounds(self):
+        plan = build_mcm_plan(lenet_spec(), McmTopology.build(2, cores_per_chip=2))
+        with pytest.raises(ValueError, match="no boundary"):
+            plan.transfer_hops(1)
+
+
+class TestMcmStage:
+    def test_layers_require_plan(self):
+        with pytest.raises(ValueError, match="iff"):
+            McmStage(index=0, chip=0, layers=lenet_spec().compute_layers())
+
+    def test_output_bytes_are_16bit_values(self):
+        spec = lenet_spec()
+        plan = build_mcm_plan(spec, McmTopology.build(2, cores_per_chip=4))
+        stage = plan.stages[0]
+        assert stage.output_bytes == stage.layers[-1].output_volume * 2
+
+
+class TestStageSubspec:
+    def test_input_shape_is_first_layer_input(self):
+        """The sub-spec streams inbound activations like a network input, so
+        the intra-chip plan never charges them at the on-chip NoC rate."""
+        spec = lenet_spec()
+        layers = spec.compute_layers()[2:]
+        sub = stage_subspec(spec, 1, layers)
+        assert sub.input_shape == layers[0].in_shape
+        assert sub.layers == layers
+        assert sub.name == f"{spec.name}::stage1"
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            stage_subspec(lenet_spec(), 0, [])

@@ -1,0 +1,132 @@
+"""PipelinedCluster surface and the pipelined event-loop semantics."""
+
+import pytest
+
+from repro.mcm import McmTopology, PipelineService
+from repro.models import lenet_spec
+from repro.serve import PipelinedCluster, build_mcm_cluster
+from repro.serve.scheduler import BatchingScheduler, FIFOScheduler
+from repro.serve.simulator import ServeSimulator
+from repro.serve.workload import LoadGenerator, Request
+
+
+class FixedWorkload(LoadGenerator):
+    name = "fixed"
+
+    def __init__(self, requests):
+        self._requests = list(requests)
+
+    def initial(self):
+        return list(self._requests)
+
+
+def _hand_cluster(pipelines=1, stage_cycles=(50, 100), transfers=(0, 10), input_load=20):
+    """Two 1-core chips with hand-picked cycles: latency 180, interval 110,
+    occupancy(1) = 70."""
+    svc = PipelineService(
+        model="m",
+        scheme="traditional",
+        chips=len(stage_cycles),
+        cores_per_chip=1,
+        stage_cycles=tuple(stage_cycles),
+        transfer_cycles=tuple(transfers),
+        input_load_cycles=input_load,
+    )
+    topo = McmTopology.build(len(stage_cycles), cores_per_chip=1)
+    return PipelinedCluster(topology=topo, pipelines=pipelines, services={"m": svc})
+
+
+class TestClusterSurface:
+    def test_geometry_properties(self):
+        cluster = _hand_cluster(pipelines=3)
+        assert cluster.num_groups == 3
+        assert cluster.stages == 2
+        assert cluster.num_chips == 6
+        assert cluster.group_cores == 2
+        assert cluster.total_cores == 6
+
+    def test_latency_and_capacity(self):
+        cluster = _hand_cluster(pipelines=2)
+        assert cluster.unloaded_latency("m") == 180
+        assert cluster.capacity_per_megacycle("m") == pytest.approx(2e6 / 110)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="no service"):
+            _hand_cluster().service("nope")
+
+    def test_describe(self):
+        assert "1 x 2-chip pipelines" in _hand_cluster().describe()
+
+    def test_validation_rejects_mismatched_service(self):
+        topo = McmTopology.build(4, cores_per_chip=1)
+        svc = _hand_cluster().services["m"]  # 2 chips
+        with pytest.raises(ValueError, match="spans 2 chips"):
+            PipelinedCluster(topology=topo, pipelines=1, services={"m": svc})
+
+    def test_validation_rejects_bad_counts(self):
+        topo = McmTopology.build(2, cores_per_chip=1)
+        svc = _hand_cluster().services["m"]
+        with pytest.raises(ValueError, match="pipelines"):
+            PipelinedCluster(topology=topo, pipelines=0, services={"m": svc})
+        with pytest.raises(ValueError, match="memory_channels"):
+            PipelinedCluster(
+                topology=topo, pipelines=1, services={"m": svc}, memory_channels=0
+            )
+
+
+class TestBuildMcmCluster:
+    def test_stage_default_is_one_package_pipeline(self):
+        cluster = build_mcm_cluster(lenet_spec(), 4, cores_per_chip=2)
+        assert cluster.stages == 4
+        assert cluster.pipelines == 1
+
+    def test_stages_carve_pipelines(self):
+        cluster = build_mcm_cluster(lenet_spec(), 4, cores_per_chip=2, stages=2)
+        assert cluster.stages == 2
+        assert cluster.pipelines == 2
+
+    def test_bad_tilings_rejected(self):
+        with pytest.raises(ValueError, match="does not tile"):
+            build_mcm_cluster(lenet_spec(), 4, stages=3)
+        with pytest.raises(ValueError, match="chips must be positive"):
+            build_mcm_cluster(lenet_spec(), 0)
+
+
+class TestPipelinedEventLoop:
+    def test_release_before_completion_hand_trace(self):
+        """r0 runs [0, 180); its front drains at 70, so r1 starts at 70 —
+        but the pipeline completes one request per 110-cycle interval, so
+        r1 finishes at the floor 180 + 110 = 290, not at 70 + 180 = 250."""
+        cluster = _hand_cluster()
+        workload = FixedWorkload([Request(0, 0, "m"), Request(1, 0, "m")])
+        result = ServeSimulator(cluster, FIFOScheduler(), workload).run()
+
+        by_rid = {r.rid: r for r in result.records}
+        assert (by_rid[0].start, by_rid[0].finish) == (0, 180)
+        assert (by_rid[1].start, by_rid[1].finish) == (70, 290)
+        # Busy: r0 occupies the front for 70, r1 for 70 + 40 backpressure.
+        assert result.busy_cycles == {0: 180}
+
+    def test_saturated_stream_completes_per_interval(self):
+        cluster = _hand_cluster()
+        workload = FixedWorkload([Request(i, 0, "m") for i in range(5)])
+        result = ServeSimulator(cluster, FIFOScheduler(), workload).run()
+        finishes = sorted(r.finish for r in result.records)
+        assert finishes == [180 + 110 * i for i in range(5)]
+
+    def test_batched_dispatch_uses_occupancy(self):
+        """A batch of 3 finishes at latency + 2 intervals; the front frees
+        at occupancy(3) = 70 + 220 = 290 < 400, so a release event fires."""
+        cluster = _hand_cluster()
+        workload = FixedWorkload([Request(i, 0, "m") for i in range(3)])
+        scheduler = BatchingScheduler(max_batch=3)
+        result = ServeSimulator(cluster, scheduler, workload).run()
+        assert {r.finish for r in result.records} == {400}
+        assert result.busy_cycles == {0: 290}
+
+    def test_two_pipelines_serve_concurrently(self):
+        cluster = _hand_cluster(pipelines=2)
+        workload = FixedWorkload([Request(0, 0, "m"), Request(1, 0, "m")])
+        result = ServeSimulator(cluster, FIFOScheduler(), workload).run()
+        assert {r.finish for r in result.records} == {180}
+        assert {r.replica for r in result.records} == {0, 1}

@@ -1,0 +1,97 @@
+"""InterChipLink timing math and the mesh-of-meshes topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcm import InterChipLink, McmTopology
+from repro.noc.packet import NoCConfig
+from repro.noc.topology import Mesh2D
+from repro.partition.pipeline import PipelinePlan
+
+
+class TestInterChipLink:
+    def test_hand_computed_transfer(self):
+        """100 B over 2 hops: ceil(100/64)=2 serialization + 8 sync +
+        2*16 hop latency, all x4 core cycles per NoC cycle."""
+        link = InterChipLink()
+        assert link.transfer_cycles(100, 2) == (2 + 8 + 32) * 4
+
+    def test_zero_bytes_cost_nothing(self):
+        assert InterChipLink().transfer_cycles(0, 3) == 0
+
+    def test_minimum_one_hop(self):
+        link = InterChipLink()
+        assert link.transfer_cycles(64, 0) == link.transfer_cycles(64, 1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            InterChipLink().transfer_cycles(-1, 1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bytes_per_cycle": 0},
+            {"bytes_per_cycle": -4},
+            {"hop_latency_cycles": -1},
+            {"sync_overhead_cycles": -1},
+            {"core_clock_divider": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            InterChipLink(**kwargs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bytes_moved=st.integers(min_value=0, max_value=1 << 20),
+        hops=st.integers(min_value=0, max_value=8),
+    )
+    def test_match_noc_reproduces_onchip_handoff(self, bytes_moved, hops):
+        """The degenerate link is cycle-identical to the on-chip formula."""
+        config = NoCConfig()
+        link = InterChipLink.match_noc(config)
+        assert link.transfer_cycles(bytes_moved, hops) == PipelinePlan.transfer_cycles(
+            bytes_moved, hops, config
+        )
+
+
+class TestMcmTopology:
+    def test_build_shapes(self):
+        topo = McmTopology.build(4, cores_per_chip=16)
+        assert topo.chip_mesh.num_nodes == 4
+        assert topo.core_mesh.num_nodes == 16
+        assert topo.total_cores == 64
+        assert topo.chip_config().num_cores == 16
+
+    def test_snake_order_keeps_stages_adjacent(self):
+        for chips in (2, 4, 6, 8, 9, 16):
+            topo = McmTopology.build(chips, cores_per_chip=1)
+            order = topo.snake_order()
+            assert sorted(order) == list(range(chips))
+            for a, b in zip(order, order[1:]):
+                assert topo.chip_hops(a, b) == 1
+
+    def test_mismatched_chip_mesh_rejected(self):
+        with pytest.raises(ValueError, match="chip mesh"):
+            McmTopology(
+                num_chips=2,
+                cores_per_chip=1,
+                chip_mesh=Mesh2D.for_nodes(4),
+                core_mesh=Mesh2D.for_nodes(1),
+            )
+
+    def test_mismatched_core_mesh_rejected(self):
+        with pytest.raises(ValueError, match="core mesh"):
+            McmTopology(
+                num_chips=2,
+                cores_per_chip=4,
+                chip_mesh=Mesh2D.for_nodes(2),
+                core_mesh=Mesh2D.for_nodes(2),
+            )
+
+    def test_describe_mentions_geometry_and_link(self):
+        text = McmTopology.build(4, cores_per_chip=16).describe()
+        assert "4-chip MCM" in text
+        assert "16 cores/chip" in text
+        assert "B/cycle" in text
