@@ -112,8 +112,11 @@ def _config_rows(
             seed=seed + 1000 * int(factor * 100),
             mix={spec.name: 1.0},
         )
+        # Summary mode: the row only needs the report's aggregates, so the
+        # per-request storage is dropped as soon as the SLO is scored —
+        # sweep memory stays flat no matter how many requests a cell serves.
         _, report = simulate_serving(
-            cluster, make_scheduler(scheduler), workload, slo=slo
+            cluster, make_scheduler(scheduler), workload, slo=slo, records="summary"
         )
         assert report is not None
         rows.append(

@@ -167,8 +167,10 @@ def _config_rows(
             seed=seed + 1000 * int(factor * 100),
             mix={spec.name: 1.0},
         )
+        # Summary mode drops per-request storage once the SLO is scored,
+        # keeping the sweep's memory flat at any request count.
         _, report = simulate_serving(
-            cluster, make_scheduler(scheduler), workload, slo=slo
+            cluster, make_scheduler(scheduler), workload, slo=slo, records="summary"
         )
         assert report is not None
         rows.append(

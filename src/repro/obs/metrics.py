@@ -91,6 +91,35 @@ class MetricsRegistry:
                 h[2] = min(h[2], value)
                 h[3] = max(h[3], value)
 
+    def observe_agg(
+        self,
+        name: str,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        **labels: Any,
+    ) -> None:
+        """Fold ``count`` pre-aggregated observations into a histogram.
+
+        Histograms only track count/total/min/max, so a vectorized producer
+        (the columnar serving loop reduces whole latency columns at once)
+        lands bit-identically to ``count`` individual :meth:`observe` calls,
+        in one registry transaction.  No-op when ``count`` is 0.
+        """
+        if count <= 0:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            h = self._hists.get(key)
+            if h is None:
+                self._hists[key] = [count, total, minimum, maximum]
+            else:
+                h[0] += count
+                h[1] += total
+                h[2] = min(h[2], minimum)
+                h[3] = max(h[3], maximum)
+
     # -- readers -------------------------------------------------------------------
 
     def counter(self, name: str, **labels: Any) -> float:

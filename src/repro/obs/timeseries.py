@@ -388,6 +388,22 @@ class ServeTimeSeries:
         else:
             self._requests_dropped += 1
 
+    def on_completion_batch(
+        self, lo: int, hi: int, arrivals: list[int], finish: int,
+        start: int, replica: int,
+    ) -> None:
+        """One batch's completions — rids ``lo..hi-1`` in rid order.
+
+        Bit-identical to ``hi - lo`` :meth:`on_completion` calls (the
+        columnar loop's batches are contiguous rid ranges, and the object
+        loop completes a batch in exactly that order); batching the
+        crossing into the telemetry module keeps the fastpath's per-request
+        call overhead off the hot loop.
+        """
+        batch_size = hi - lo
+        for rid in range(lo, hi):
+            self.on_completion(rid, arrivals[rid], start, finish, replica, batch_size)
+
     def finalize(self) -> None:
         """Seal the series: close the trailing partial window."""
         if self._finalized:

@@ -18,6 +18,10 @@ discrete-event serving simulator on top of the single-pass engine
   is the sum of stage times plus inter-chip transfers, steady-state
   throughput is set by the slowest stage;
 * :mod:`repro.serve.simulator` — the event loop tying the three together;
+* :mod:`repro.serve.fastpath` — the columnar (struct-of-arrays) event loop
+  the simulator auto-selects for open-loop workloads: identical results,
+  an order of magnitude more events per second (``REPRO_SERVE_FASTPATH``
+  selects; the object loop remains the bit-exactness reference);
 * :mod:`repro.serve.slo` / :mod:`repro.serve.results` — per-request records,
   p50/p95/p99 latency, goodput, SLO-violation rate, and utilization,
   instrumented through :mod:`repro.obs`.
@@ -36,11 +40,13 @@ from .cluster import (
     default_group_map,
     service_for_plan,
 )
+from .fastpath import FASTPATH_ENV, fastpath_mode
 from .pipelined import PipelinedCluster, build_mcm_cluster
-from .results import RequestRecord, ServeResult
+from .results import RecordColumns, RequestRecord, ServeResult
 from .scheduler import (
     BatchingScheduler,
     FIFOScheduler,
+    IndexQueue,
     PriorityScheduler,
     Scheduler,
     SJFScheduler,
@@ -49,6 +55,7 @@ from .scheduler import (
 from .simulator import ServeSimulator, simulate_serving
 from .slo import SLO, SLOReport, evaluate_slo, percentile
 from .workload import (
+    ArrivalColumns,
     ClosedLoopWorkload,
     LoadGenerator,
     MMPPWorkload,
@@ -58,6 +65,7 @@ from .workload import (
 
 __all__ = [
     "Request",
+    "ArrivalColumns",
     "LoadGenerator",
     "PoissonWorkload",
     "MMPPWorkload",
@@ -72,6 +80,7 @@ __all__ = [
     "PipelinedCluster",
     "build_mcm_cluster",
     "Scheduler",
+    "IndexQueue",
     "FIFOScheduler",
     "SJFScheduler",
     "PriorityScheduler",
@@ -79,7 +88,10 @@ __all__ = [
     "make_scheduler",
     "ServeSimulator",
     "simulate_serving",
+    "FASTPATH_ENV",
+    "fastpath_mode",
     "RequestRecord",
+    "RecordColumns",
     "ServeResult",
     "SLO",
     "SLOReport",

@@ -31,12 +31,14 @@ timing.  ``--sweep`` then runs the Table MCM single-chip-vs-MCM race::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .. import obs
 from ..cli import add_pool_flag, add_workers_flag, apply_pool, apply_workers
 from ..models.zoo import SPEC_BUILDERS, get_spec
 from .cluster import build_spec_cluster
+from .fastpath import FASTPATH_ENV
 from .pipelined import build_mcm_cluster
 from .scheduler import SCHEDULERS, make_scheduler
 from .simulator import simulate_serving
@@ -127,6 +129,17 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--slo-factor", type=float, default=2.0,
         help="SLO target as a multiple of the unloaded latency",
+    )
+    parser.add_argument(
+        "--fastpath", default=None, choices=("auto", "off", "force"),
+        help="serving-loop implementation: auto = columnar fast path when "
+        "eligible (default; also via REPRO_SERVE_FASTPATH), off = object "
+        "loop, force = error when the fast path cannot run",
+    )
+    parser.add_argument(
+        "--records", default="full", choices=("full", "summary"),
+        help="summary drops per-request records after SLO scoring "
+        "(flat memory for huge runs; sweeps always run summary-only)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
@@ -221,7 +234,8 @@ def _run_single(args: argparse.Namespace) -> int:
     slo = SLO(int(args.slo_factor * cluster.unloaded_latency(spec.name)))
     scheduler = make_scheduler(args.scheduler, max_batch=args.batch_size)
     result, report = simulate_serving(
-        cluster, scheduler, _build_workload(args), slo=slo
+        cluster, scheduler, _build_workload(args), slo=slo,
+        fastpath=args.fastpath, records=args.records,
     )
     print(cluster.describe())
     if args.chips > 1:
@@ -287,6 +301,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     apply_workers(args.workers)
     apply_pool(args.pool)
+    if args.fastpath is not None:
+        # Export so sweep worker processes inherit the selection too.
+        os.environ[FASTPATH_ENV] = args.fastpath
     if args.chips < 1:
         parser.error(f"--chips must be >= 1, got {args.chips}")
     if args.chips == 1:

@@ -1,10 +1,28 @@
-"""Per-request records and aggregate results of one serving simulation."""
+"""Per-request records and aggregate results of one serving simulation.
+
+Two storages back the same :class:`ServeResult` surface:
+
+* the **object loop** appends one frozen :class:`RequestRecord` per request
+  (completion order), exactly as it always has;
+* the **columnar loop** (:mod:`repro.serve.fastpath`) fills one
+  :class:`RecordColumns` — preallocated int64 numpy columns indexed by
+  request id plus the completion-order permutation — and ``records``
+  materializes the identical object list lazily on first access.
+
+Aggregates (makespan, latency percentiles, utilization) reduce over the
+columns directly when they exist — ``O(1)`` numpy reductions instead of a
+Python sweep — and ``compact()`` drops the per-request storage entirely
+after caching the scalar aggregates, which is what lets a million-request
+sweep hold thousands of grid cells without holding their columns.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-__all__ = ["RequestRecord", "ServeResult"]
+import numpy as np
+
+__all__ = ["RequestRecord", "RecordColumns", "ServeResult"]
 
 
 @dataclass(frozen=True)
@@ -43,17 +61,166 @@ class RequestRecord:
         return self.finish - self.start
 
 
-@dataclass
-class ServeResult:
-    """Everything one :class:`~repro.serve.simulator.ServeSimulator` run produced."""
+class RecordColumns:
+    """Struct-of-arrays request records, indexed by request id.
 
-    scheme: str
-    scheduler: str
-    total_cores: int
-    group_cores: int
-    records: list[RequestRecord] = field(default_factory=list)
-    #: per-replica-group busy cycles (dispatch to drain, summed over batches).
-    busy_cycles: dict[int, int] = field(default_factory=dict)
+    ``order_lo``/``order_hi`` list the dispatched batches as half-open rid
+    ranges in completion-processing order (every batch the columnar loop
+    forms is contiguous in rid space), so :meth:`materialize` reproduces
+    the object loop's append order — record-list equality is the
+    fastpath's bit-exactness contract.
+    """
+
+    __slots__ = (
+        "arrival", "start", "finish", "replica", "batch_size", "priority",
+        "model_id", "models", "order_lo", "order_hi",
+    )
+
+    def __init__(
+        self,
+        arrival: np.ndarray,
+        model_id: np.ndarray,
+        priority: np.ndarray,
+        models: tuple[str, ...],
+        start: np.ndarray,
+        finish: np.ndarray,
+        replica: np.ndarray,
+        batch_size: np.ndarray,
+        order_lo: np.ndarray,
+        order_hi: np.ndarray,
+    ) -> None:
+        self.arrival = arrival
+        self.model_id = model_id
+        self.priority = priority
+        self.models = models
+        self.start = start
+        self.finish = finish
+        self.replica = replica
+        self.batch_size = batch_size
+        self.order_lo = order_lo
+        self.order_hi = order_hi
+
+    def __len__(self) -> int:
+        return len(self.arrival)
+
+    def latencies(self) -> np.ndarray:
+        return self.finish - self.arrival
+
+    def queue_cycles(self) -> np.ndarray:
+        return self.start - self.arrival
+
+    def materialize(self) -> list[RequestRecord]:
+        """The identical record list the object loop would have appended."""
+        arrival = self.arrival.tolist()
+        start = self.start.tolist()
+        finish = self.finish.tolist()
+        replica = self.replica.tolist()
+        batch = self.batch_size.tolist()
+        priority = self.priority.tolist()
+        model_id = self.model_id.tolist()
+        names = self.models
+        out: list[RequestRecord] = []
+        for lo, hi in zip(self.order_lo.tolist(), self.order_hi.tolist()):
+            for rid in range(lo, hi):
+                out.append(
+                    RequestRecord(
+                        rid=rid,
+                        model=names[model_id[rid]],
+                        arrival=arrival[rid],
+                        start=start[rid],
+                        finish=finish[rid],
+                        replica=replica[rid],
+                        batch_size=batch[rid],
+                        priority=priority[rid],
+                    )
+                )
+        return out
+
+
+class _Compacted:
+    """Scalar aggregates retained after per-request storage is dropped."""
+
+    __slots__ = ("num_requests", "makespan", "batch_total")
+
+    def __init__(self, num_requests: int, makespan: int, batch_total: int) -> None:
+        self.num_requests = num_requests
+        self.makespan = makespan
+        self.batch_total = batch_total
+
+
+class ServeResult:
+    """Everything one :class:`~repro.serve.simulator.ServeSimulator` run produced.
+
+    ``records`` is always the completion-ordered list of
+    :class:`RequestRecord` — materialized lazily from ``columns`` when the
+    columnar loop produced the run.  After :meth:`compact` the per-request
+    storage is gone and only the scalar aggregates answer.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        scheduler: str,
+        total_cores: int,
+        group_cores: int,
+        records: list[RequestRecord] | None = None,
+        busy_cycles: dict[int, int] | None = None,
+        columns: RecordColumns | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.scheduler = scheduler
+        self.total_cores = total_cores
+        self.group_cores = group_cores
+        self.busy_cycles = busy_cycles if busy_cycles is not None else {}
+        self._records = records if records is not None else ([] if columns is None else None)
+        self._columns = columns
+        self._compacted: _Compacted | None = None
+
+    # -- storage ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> RecordColumns | None:
+        """The columnar store, when the fastpath produced this run."""
+        return self._columns
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        if self._records is None:
+            if self._columns is not None:
+                self._records = self._columns.materialize()
+            else:
+                raise RuntimeError(
+                    "per-request records were compacted away "
+                    "(run with records='full' to keep them)"
+                )
+        return self._records
+
+    @property
+    def compacted(self) -> bool:
+        return self._compacted is not None
+
+    def compact(self) -> "ServeResult":
+        """Drop per-request storage, keeping only the scalar aggregates.
+
+        Reduces a million-request result to a fixed-size summary — the
+        ``records="summary"`` mode sweep cells run under.  Idempotent.
+        """
+        if self._compacted is None:
+            self._compacted = _Compacted(
+                num_requests=self.num_requests,
+                makespan=self.makespan,
+                batch_total=self._batch_total(),
+            )
+            self._records = None
+            self._columns = None
+        return self
+
+    def _batch_total(self) -> int:
+        if self._columns is not None:
+            return int(self._columns.batch_size.sum())
+        return sum(r.batch_size for r in self.records)
+
+    # -- aggregates ---------------------------------------------------------------
 
     @property
     def num_groups(self) -> int:
@@ -61,17 +228,28 @@ class ServeResult:
 
     @property
     def num_requests(self) -> int:
+        if self._compacted is not None:
+            return self._compacted.num_requests
+        if self._records is None and self._columns is not None:
+            return len(self._columns)
         return len(self.records)
 
     @property
     def makespan(self) -> int:
         """First arrival to last completion (0 when nothing ran)."""
-        if not self.records:
+        if self._compacted is not None:
+            return self._compacted.makespan
+        if self.num_requests == 0:
             return 0
+        if self._records is None and self._columns is not None:
+            cols = self._columns
+            return int(cols.finish.max()) - int(cols.arrival.min())
         return max(r.finish for r in self.records) - min(r.arrival for r in self.records)
 
     def latencies(self) -> list[int]:
         """Per-request response times, sorted ascending."""
+        if self._records is None and self._columns is not None:
+            return np.sort(self._columns.latencies()).tolist()
         return sorted(r.latency for r in self.records)
 
     @property
@@ -86,25 +264,28 @@ class ServeResult:
     def throughput_per_megacycle(self) -> float:
         """Completed requests per megacycle of wall time."""
         span = self.makespan
-        return len(self.records) * 1e6 / span if span else 0.0
+        return self.num_requests * 1e6 / span if span else 0.0
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.records:
+        n = self.num_requests
+        if not n:
             return 0.0
-        return sum(r.batch_size for r in self.records) / len(self.records)
+        if self._compacted is not None:
+            return self._compacted.batch_total / n
+        return self._batch_total() / n
 
     def summary(self) -> str:
         """One-paragraph human summary (the CLI's headline)."""
-        if not self.records:
+        n = self.num_requests
+        if not n:
             return (
                 f"{self.scheme}/{self.scheduler} on {self.num_groups} x "
                 f"{self.group_cores}-core groups: no requests served"
             )
-        lats = self.latencies()
         return (
             f"{self.scheme}/{self.scheduler} on {self.num_groups} x "
-            f"{self.group_cores}-core groups: {len(lats)} requests in "
+            f"{self.group_cores}-core groups: {n} requests in "
             f"{self.makespan:,} cycles "
             f"({self.throughput_per_megacycle:.1f} req/Mcycle, "
             f"{self.utilization:.0%} busy, mean batch {self.mean_batch_size:.2f})"

@@ -50,6 +50,7 @@ import heapq
 from ..obs import METRICS, span
 from ..obs.timeseries import start_series, timeseries_enabled
 from .cluster import Cluster
+from .fastpath import fastpath_mode, plan_columnar, run_columnar
 from .results import RequestRecord, ServeResult
 from .scheduler import Scheduler
 from .slo import SLO, SLOReport, evaluate_slo
@@ -69,6 +70,12 @@ class ServeSimulator:
     ``slo`` only annotates telemetry: when a time-series is collected its
     violation counts and burn rates are computed against this target.  The
     pass/fail scoring itself stays in :func:`repro.serve.slo.evaluate_slo`.
+
+    ``fastpath`` picks the loop implementation — ``auto`` (columnar when
+    eligible, see :mod:`repro.serve.fastpath`), ``off`` (always the object
+    loop), or ``force`` (error when ineligible); ``None`` defers to the
+    ``REPRO_SERVE_FASTPATH`` environment variable.  Both loops produce
+    bit-identical results for the same seeded workload.
     """
 
     def __init__(
@@ -77,11 +84,13 @@ class ServeSimulator:
         scheduler: Scheduler,
         workload: LoadGenerator,
         slo: SLO | None = None,
+        fastpath: str | None = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.workload = workload
         self.slo = slo
+        self.fastpath = fastpath_mode(fastpath) if fastpath is not None else fastpath
         scheduler.bind(cluster)
 
     def _pipeline_stages(self) -> int:
@@ -96,13 +105,14 @@ class ServeSimulator:
         )
 
     def run(self) -> ServeResult:
-        result = ServeResult(
-            scheme=self.cluster.scheme,
-            scheduler=self.scheduler.name,
-            total_cores=self.cluster.total_cores,
-            group_cores=self.cluster.group_cores,
-            busy_cycles={g: 0 for g in range(self.cluster.num_groups)},
-        )
+        mode = fastpath_mode(self.fastpath)
+        plan = None
+        if mode != "off":
+            plan, reason = plan_columnar(self.cluster, self.scheduler, self.workload)
+            if plan is None and mode == "force":
+                raise RuntimeError(
+                    f"serve fastpath forced but this run is ineligible: {reason}"
+                )
         ts = None
         if timeseries_enabled():
             ts = start_series(
@@ -119,6 +129,40 @@ class ServeSimulator:
                 },
                 stages=self._pipeline_stages(),
             )
+        with span(
+            "serve.run",
+            scheme=self.cluster.scheme,
+            scheduler=self.scheduler.name,
+            groups=self.cluster.num_groups,
+            group_cores=self.cluster.group_cores,
+        ) as sp:
+            busy_cycles = {g: 0 for g in range(self.cluster.num_groups)}
+            columns = None
+            if plan is not None:
+                columns = run_columnar(
+                    plan, ts, busy_cycles, self._feed_stage_intervals
+                )
+            result = ServeResult(
+                scheme=self.cluster.scheme,
+                scheduler=self.scheduler.name,
+                total_cores=self.cluster.total_cores,
+                group_cores=self.cluster.group_cores,
+                busy_cycles=busy_cycles,
+                columns=columns,
+            )
+            if plan is None:
+                self._run_object_loop(result, ts)
+            if ts is not None:
+                ts.finalize()
+            sp.set(
+                requests=result.num_requests,
+                makespan=result.makespan,
+                utilization=round(result.utilization, 4),
+            )
+        return result
+
+    def _run_object_loop(self, result: ServeResult, ts) -> None:
+        """The historical per-``Request`` event loop (the reference path)."""
         events: list[tuple[int, int, int, object]] = []
         free = list(range(self.cluster.num_groups))
         heapq.heapify(free)
@@ -190,69 +234,54 @@ class ServeSimulator:
                 else:
                     push(finish, _COMPLETION, (replica, now, batch, True))
 
-        with span(
-            "serve.run",
-            scheme=self.cluster.scheme,
-            scheduler=self.scheduler.name,
-            groups=self.cluster.num_groups,
-            group_cores=self.cluster.group_cores,
-        ) as sp:
-            enqueue = scheduler.enqueue
-            records_append = result.records.append
-            workload_completion = self.workload.on_completion
-            for request in self.workload.initial():
-                push(request.arrival, _ARRIVAL, request)
-            while events:
-                now = events[0][0]
-                # Drain every event stamped `now` before dispatching, so
-                # simultaneous arrivals are all visible to the scheduler as
-                # one instant (a batcher can group them) and a completion
-                # freeing a replica can serve an arrival at the same cycle.
-                while events and events[0][0] == now:
-                    _, _, kind, payload = heappop(events)
-                    if kind == _ARRIVAL:
-                        assert isinstance(payload, Request)
-                        inc("serve.requests")
+        enqueue = scheduler.enqueue
+        records_append = result.records.append
+        workload_completion = self.workload.on_completion
+        for request in self.workload.initial():
+            push(request.arrival, _ARRIVAL, request)
+        while events:
+            now = events[0][0]
+            # Drain every event stamped `now` before dispatching, so
+            # simultaneous arrivals are all visible to the scheduler as
+            # one instant (a batcher can group them) and a completion
+            # freeing a replica can serve an arrival at the same cycle.
+            while events and events[0][0] == now:
+                _, _, kind, payload = heappop(events)
+                if kind == _ARRIVAL:
+                    assert isinstance(payload, Request)
+                    inc("serve.requests")
+                    if ts is not None:
+                        ts.on_arrival(now)
+                    enqueue(payload)
+                elif kind == _RELEASE:
+                    heappush(free, payload)
+                else:
+                    replica, started, batch, free_now = payload
+                    if free_now:
+                        heappush(free, replica)
+                    for request in batch:
+                        record = RequestRecord(
+                            rid=request.rid,
+                            model=request.model,
+                            arrival=request.arrival,
+                            start=started,
+                            finish=now,
+                            replica=replica,
+                            batch_size=len(batch),
+                            priority=request.priority,
+                        )
+                        records_append(record)
+                        observe("serve.latency_cycles", record.latency)
+                        observe("serve.queue_cycles", record.queue_cycles)
                         if ts is not None:
-                            ts.on_arrival(now)
-                        enqueue(payload)
-                    elif kind == _RELEASE:
-                        heappush(free, payload)
-                    else:
-                        replica, started, batch, free_now = payload
-                        if free_now:
-                            heappush(free, replica)
-                        for request in batch:
-                            record = RequestRecord(
-                                rid=request.rid,
-                                model=request.model,
-                                arrival=request.arrival,
-                                start=started,
-                                finish=now,
-                                replica=replica,
-                                batch_size=len(batch),
-                                priority=request.priority,
+                            ts.on_completion(
+                                record.rid, record.arrival, record.start,
+                                record.finish, replica, record.batch_size,
                             )
-                            records_append(record)
-                            observe("serve.latency_cycles", record.latency)
-                            observe("serve.queue_cycles", record.queue_cycles)
-                            if ts is not None:
-                                ts.on_completion(
-                                    record.rid, record.arrival, record.start,
-                                    record.finish, replica, record.batch_size,
-                                )
-                            follow_up = workload_completion(request, now)
-                            if follow_up is not None:
-                                push(follow_up.arrival, _ARRIVAL, follow_up)
-                dispatch(now)
-            if ts is not None:
-                ts.finalize()
-            sp.set(
-                requests=result.num_requests,
-                makespan=result.makespan,
-                utilization=round(result.utilization, 4),
-            )
-        return result
+                        follow_up = workload_completion(request, now)
+                        if follow_up is not None:
+                            push(follow_up.arrival, _ARRIVAL, follow_up)
+            dispatch(now)
 
     @staticmethod
     def _feed_stage_intervals(ts, service, replica: int, start: int, k: int) -> None:
@@ -281,8 +310,19 @@ def simulate_serving(
     scheduler: Scheduler,
     workload: LoadGenerator,
     slo: SLO | None = None,
+    fastpath: str | None = None,
+    records: str = "full",
 ) -> tuple[ServeResult, SLOReport | None]:
-    """One-call convenience: run the loop and (optionally) score an SLO."""
-    result = ServeSimulator(cluster, scheduler, workload, slo=slo).run()
+    """One-call convenience: run the loop and (optionally) score an SLO.
+
+    ``records="summary"`` compacts the result after SLO scoring — the
+    per-request storage is dropped and only scalar aggregates (and the
+    report) survive, which is what keeps a large sweep's memory flat.
+    """
+    if records not in ("full", "summary"):
+        raise ValueError(f"records must be 'full' or 'summary', got {records!r}")
+    result = ServeSimulator(cluster, scheduler, workload, slo=slo, fastpath=fastpath).run()
     report = evaluate_slo(result, slo) if slo is not None else None
+    if records == "summary":
+        result.compact()
     return result, report

@@ -27,6 +27,7 @@ import numpy as np
 
 __all__ = [
     "Request",
+    "ArrivalColumns",
     "LoadGenerator",
     "PoissonWorkload",
     "MMPPWorkload",
@@ -34,6 +35,11 @@ __all__ = [
 ]
 
 MEGACYCLE = 1_000_000
+
+#: Interarrival samples drawn per RNG call when a generator supports chunked
+#: sampling (bounds transient memory; numpy Generators fill sequentially, so
+#: chunked draws are bit-identical to one monolithic call).
+ARRIVAL_CHUNK = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,67 @@ class Request:
     arrival: int  # core clock cycle the request becomes visible
     model: str = "default"
     priority: int = 0  # larger = more urgent (PriorityScheduler)
+
+
+@dataclass(frozen=True)
+class ArrivalColumns:
+    """A request stream as struct-of-arrays (the columnar loop's input).
+
+    Row ``i`` is request ``rid == i``; ``arrival`` is sorted ascending, so
+    array order equals the order the object loop's event heap would pop the
+    arrivals in (its tiebreak is insertion sequence, which is ``rid``).
+    ``models`` is the model-name table ``model_id`` indexes into.
+    """
+
+    arrival: np.ndarray  # int64, sorted ascending
+    model_id: np.ndarray  # int64 indices into ``models``
+    priority: np.ndarray  # int64
+    models: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.arrival)
+        if len(self.model_id) != n or len(self.priority) != n:
+            raise ValueError("arrival/model_id/priority columns must align")
+
+    def __len__(self) -> int:
+        return len(self.arrival)
+
+    def to_requests(self) -> list[Request]:
+        """Materialize per-request objects (the object loop's input)."""
+        arrivals = self.arrival.tolist()
+        model_ids = self.model_id.tolist()
+        priorities = self.priority.tolist()
+        names = self.models
+        return [
+            Request(rid=i, arrival=arrivals[i], model=names[model_ids[i]],
+                    priority=priorities[i])
+            for i in range(len(arrivals))
+        ]
+
+    @staticmethod
+    def from_requests(requests: list[Request]) -> "ArrivalColumns | None":
+        """Columnize an arbitrary scripted request list.
+
+        Returns ``None`` when the list cannot feed the columnar loop
+        directly: rids must be ``0..n-1`` and the heap's pop order —
+        ``(arrival, insertion order)`` — must equal rid order, so that a
+        FIFO queue position is a request id.
+        """
+        arrivals = []
+        last = None
+        for i, r in enumerate(requests):
+            if r.rid != i or (last is not None and r.arrival < last):
+                return None
+            arrivals.append(r.arrival)
+            last = r.arrival
+        names = tuple(dict.fromkeys(r.model for r in requests))
+        index = {m: i for i, m in enumerate(names)}
+        return ArrivalColumns(
+            arrival=np.asarray(arrivals, dtype=np.int64),
+            model_id=np.asarray([index[r.model] for r in requests], dtype=np.int64),
+            priority=np.asarray([r.priority for r in requests], dtype=np.int64),
+            models=names,
+        )
 
 
 def _normalized_mix(mix: dict[str, float] | None) -> tuple[list[str], np.ndarray]:
@@ -71,6 +138,21 @@ class LoadGenerator(ABC):
     def initial(self) -> list[Request]:
         """The requests to inject before the simulation starts."""
 
+    def arrival_columns(self) -> ArrivalColumns | None:
+        """The initial stream as columns, or ``None`` when not supported.
+
+        Generators that know their stream up front as arrays override this
+        so the columnar loop never materializes ``Request`` objects; the
+        default columnizes :meth:`initial` when the list is directly usable
+        (see :meth:`ArrivalColumns.from_requests`).
+        """
+        return ArrivalColumns.from_requests(self.initial())
+
+    @property
+    def is_open_loop(self) -> bool:
+        """True when completions never spawn requests (fastpath eligible)."""
+        return type(self).on_completion is LoadGenerator.on_completion
+
     def on_completion(self, request: Request, finish_cycle: int) -> Request | None:
         """React to ``request`` finishing at ``finish_cycle``."""
         return None
@@ -97,20 +179,54 @@ class _OpenLoopWorkload(LoadGenerator):
     def _interarrivals(self, rng: np.random.Generator) -> np.ndarray:
         """``num_requests`` gaps between consecutive arrivals, in cycles."""
 
-    def initial(self) -> list[Request]:
+    def _interarrival_chunks(self, rng: np.random.Generator):
+        """Yield the gap stream in bounded blocks.
+
+        The default yields :meth:`_interarrivals` whole (state-walking
+        generators like MMPP are inherently sequential); memoryless
+        generators override this to sample ``ARRIVAL_CHUNK`` gaps per RNG
+        call — numpy Generators fill sequentially, so the chunked stream is
+        bit-identical to the monolithic draw.
+        """
+        yield self._interarrivals(rng)
+
+    def arrival_columns(self) -> ArrivalColumns:
+        """The seeded stream as struct-of-arrays, no ``Request`` objects.
+
+        Draw order matches the historical ``initial()`` exactly — every
+        interarrival gap first, then every model choice — so the same seed
+        produces the same stream whichever loop consumes it.
+        """
         rng = np.random.default_rng(self.seed)
-        gaps = np.maximum(1, np.rint(self._interarrivals(rng))).astype(np.int64)
-        arrivals = np.cumsum(gaps)
-        models = rng.choice(self._names, size=self.num_requests, p=self._probs)
-        return [
-            Request(
-                rid=i,
-                arrival=int(arrivals[i]),
-                model=str(models[i]),
-                priority=self._priorities.get(str(models[i]), 0),
+        arrivals = np.empty(self.num_requests, dtype=np.int64)
+        offset = 0
+        last = 0
+        for block in self._interarrival_chunks(rng):
+            gaps = np.maximum(1, np.rint(block)).astype(np.int64)
+            np.cumsum(gaps, out=gaps)
+            arrivals[offset : offset + len(gaps)] = gaps + last
+            offset += len(gaps)
+            last = int(arrivals[offset - 1]) if offset else 0
+        if offset != self.num_requests:
+            raise RuntimeError(
+                f"interarrival chunks produced {offset} gaps, "
+                f"expected {self.num_requests}"
             )
-            for i in range(self.num_requests)
-        ]
+        model_id = rng.choice(
+            len(self._names), size=self.num_requests, p=self._probs
+        ).astype(np.int64)
+        prio_of = np.asarray(
+            [self._priorities.get(name, 0) for name in self._names], dtype=np.int64
+        )
+        return ArrivalColumns(
+            arrival=arrivals,
+            model_id=model_id,
+            priority=prio_of[model_id],
+            models=tuple(self._names),
+        )
+
+    def initial(self) -> list[Request]:
+        return self.arrival_columns().to_requests()
 
 
 class PoissonWorkload(_OpenLoopWorkload):
@@ -133,6 +249,13 @@ class PoissonWorkload(_OpenLoopWorkload):
 
     def _interarrivals(self, rng: np.random.Generator) -> np.ndarray:
         return rng.exponential(MEGACYCLE / self.rate, size=self.num_requests)
+
+    def _interarrival_chunks(self, rng: np.random.Generator):
+        scale = MEGACYCLE / self.rate
+        for start in range(0, self.num_requests, ARRIVAL_CHUNK):
+            yield rng.exponential(
+                scale, size=min(ARRIVAL_CHUNK, self.num_requests - start)
+            )
 
 
 class MMPPWorkload(_OpenLoopWorkload):
