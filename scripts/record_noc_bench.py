@@ -17,6 +17,12 @@ on a sub-20ms drain jitter by several percent on a shared machine, while
 the aggregate is dominated by the longest, most stable case.  Per-case
 overheads are still recorded for inspection.
 
+A final ``routing_cache`` note micro-benchmarks the cached per-shape XY
+route tables (:func:`repro.noc.routing.route_tables`): the one-off table
+build vs a cached lookup, and the matmul-based
+:func:`~repro.noc.analytical.link_loads` vs the per-pair route walk it
+replaced, asserting both produce identical link loads.
+
 Usage::
 
     PYTHONPATH=src python scripts/record_noc_bench.py [--rounds N]
@@ -35,6 +41,8 @@ sys.path.insert(0, str(_ROOT))
 sys.path.insert(0, str(_ROOT / "src"))
 
 from repro.noc import NoCConfig, NoCSimulator, ReferenceNoCSimulator  # noqa: E402
+from repro.noc.analytical import link_loads, message_flits  # noqa: E402
+from repro.noc.routing import _route_tables, xy_route_path  # noqa: E402
 
 from benchmarks._host import host_fingerprint  # noqa: E402
 from benchmarks.bench_noc_engine import CASES, _drain, _drain_telemetry  # noqa: E402
@@ -91,6 +99,72 @@ def telemetry_comparison(mesh, traffic, config, rounds: int):
     return best[0], best[1], best[2], stats[0]
 
 
+def _link_loads_walked(traffic, mesh, config):
+    """Reference per-burst link loads: walk ``xy_route_path`` per pair.
+
+    This is the work :func:`repro.noc.analytical.link_loads` did before the
+    cached per-shape route-usage matrix reduced it to one integer matmul —
+    kept here as the baseline the ``routing_cache`` note is measured against.
+    """
+    flits = message_flits(traffic.bytes_matrix, config)
+    loads: dict[tuple[int, int], int] = {}
+    for src in range(mesh.num_nodes):
+        for dst in range(mesh.num_nodes):
+            f = int(flits[src, dst])
+            if not f:
+                continue
+            path = xy_route_path(mesh, src, dst)
+            for a, b in zip(path, path[1:]):
+                loads[(a, b)] = loads.get((a, b), 0) + f
+    return loads
+
+
+def routing_cache_note(rounds: int) -> dict:
+    """Micro-bench of the cached XY route tables on the 8x8 burst case.
+
+    Times (best of N) the one-off table build against a cached lookup, and
+    the matmul-based :func:`link_loads` against the per-pair route walk it
+    replaced.  Both paths must produce identical load dicts — the speedup is
+    recorded for inspection, the equality is asserted.
+    """
+    mesh, traffic = CASES["burst_drain_8x8"]()
+    config = NoCConfig()
+
+    build_s = float("inf")
+    for _ in range(rounds):
+        _route_tables.cache_clear()
+        t0 = time.perf_counter()
+        _route_tables(mesh.width, mesh.height)
+        build_s = min(build_s, time.perf_counter() - t0)
+    lookup_s, _ = _timed(lambda: _route_tables(mesh.width, mesh.height))
+
+    link_loads(traffic, mesh, config)  # warm-up (flit array allocation)
+    matmul_s = walked_s = float("inf")
+    cached = walked = None
+    for _ in range(rounds):
+        dt, cached = _timed(lambda: link_loads(traffic, mesh, config))
+        matmul_s = min(matmul_s, dt)
+        dt, walked = _timed(lambda: _link_loads_walked(traffic, mesh, config))
+        walked_s = min(walked_s, dt)
+    assert cached == walked, "cached route-table link loads diverge from route walk"
+
+    speedup = walked_s / matmul_s
+    print(
+        f"     routing_cache: 8x8 tables build {build_s * 1e3:6.2f} ms once, "
+        f"link_loads matmul {matmul_s * 1e6:7.1f} us vs "
+        f"walk {walked_s * 1e6:7.1f} us   speedup {speedup:6.2f}x"
+    )
+    return {
+        "mesh": f"{mesh.width}x{mesh.height}",
+        "table_build_s": round(build_s, 6),
+        "cached_lookup_s": round(lookup_s, 9),
+        "link_loads_matmul_s": round(matmul_s, 6),
+        "link_loads_walked_s": round(walked_s, 6),
+        "loads_match": True,
+        "speedup": round(speedup, 2),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=5, help="runs per engine")
@@ -143,6 +217,8 @@ def main() -> None:
         f"(budget {MAX_DISABLED_OVERHEAD_PCT}%)"
     )
 
+    routing_cache = routing_cache_note(max(args.rounds, 3))
+
     out = Path(__file__).resolve().parent.parent / "BENCH_noc.json"
     payload = {
         "rounds": args.rounds,
@@ -152,6 +228,7 @@ def main() -> None:
             "aggregate_disabled_overhead_pct": round(aggregate_pct, 2),
             "budget_pct": MAX_DISABLED_OVERHEAD_PCT,
         },
+        "routing_cache": routing_cache,
     }
     out.write_text(json.dumps(payload, indent=2))
     print(f"wrote {out}")

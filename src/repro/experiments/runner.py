@@ -44,6 +44,7 @@ from .table4 import render_table4, run_table4
 from .table5 import render_table5, run_table5
 from .table6 import render_table6, run_table6
 from .table_mcm import render_table_mcm, run_table_mcm
+from .table_search import render_table_search, run_table_search
 from .tableS1 import render_tableS1, run_tableS1
 
 __all__ = ["run_all", "EXPERIMENTS"]
@@ -57,6 +58,7 @@ EXPERIMENTS = (
     "table6",
     "tableS1",
     "tableMCM",
+    "tableSearch",
     "ablation-mask-exponent",
     "ablation-mapping",
     "ablation-noc",
@@ -92,6 +94,8 @@ def _run_one(name: str, profile: ExperimentProfile, workers: int | None = None) 
         return render_tableS1(run_tableS1(profile, workers=workers))
     if name == "tableMCM":
         return render_table_mcm(run_table_mcm(profile, workers=workers))
+    if name == "tableSearch":
+        return render_table_search(run_table_search(profile, workers=workers))
     if name == "ablation-mask-exponent":
         return render_mask_exponent(run_mask_exponent_ablation(profile))
     if name == "ablation-mapping":

@@ -134,10 +134,14 @@ def build_mcm_plan(
     spec: NetworkSpec,
     topology: McmTopology,
     scheme: str = "traditional",
+    split: list[list[LayerSpec]] | None = None,
 ) -> McmPipelinePlan:
-    """MAC-balanced contiguous layer ranges, one per chip, in snake order.
+    """Contiguous layer ranges, one per chip, in snake order.
 
-    Each non-empty stage gets an intra-layer plan over the chip's
+    ``split`` defaults to the MAC-balanced
+    :func:`~repro.partition.pipeline.balanced_stage_split`; the stage-boundary
+    DP (:func:`repro.search.search_stage_split`) passes its own split.  Each
+    non-empty stage gets an intra-layer plan over the chip's
     ``cores_per_chip`` cores via the same builder the serving cluster uses
     (``traditional`` or ``structure``; structure grouping is applied per
     stage sub-spec).  Networks with fewer compute layers than chips leave
@@ -146,7 +150,12 @@ def build_mcm_plan(
     # Lazy: repro.serve imports repro.mcm at module scope, not vice versa.
     from ..serve.cluster import build_replica_plan
 
-    split = balanced_stage_split(spec.compute_layers(), topology.num_chips)
+    if split is None:
+        split = balanced_stage_split(spec.compute_layers(), topology.num_chips)
+    elif len(split) != topology.num_chips:
+        raise ValueError(
+            f"split has {len(split)} stages for {topology.num_chips} chips"
+        )
     order = topology.snake_order()
     stages = []
     for i, layers in enumerate(split):

@@ -5,12 +5,12 @@ credit flow control, dimension-ordered routing, burst traffic traces, and a
 fast analytical model for full-scale traffic.
 """
 
-from .analytical import AnalyticalEstimate, estimate_drain_cycles, link_loads
+from .analytical import AnalyticalEstimate, estimate_drain_cycles, link_loads, message_flits
 from .energy import EnergyBreakdown, NoCEnergyModel
 from .network import EnergyEvents, NoCSimulator, NoCStats
 from .packet import Flit, NoCConfig, Packet, segment_message
 from .reference import ReferenceNoCSimulator
-from .routing import xy_route_path, xy_route_port, xy_route_ports
+from .routing import RouteTables, route_tables, xy_route_path, xy_route_port, xy_route_ports
 from .topology import Mesh2D, mesh_dims
 from .traffic import (
     TrafficMatrix,
@@ -25,6 +25,8 @@ __all__ = [
     "xy_route_port",
     "xy_route_path",
     "xy_route_ports",
+    "RouteTables",
+    "route_tables",
     "NoCConfig",
     "Packet",
     "Flit",
@@ -42,4 +44,5 @@ __all__ = [
     "AnalyticalEstimate",
     "estimate_drain_cycles",
     "link_loads",
+    "message_flits",
 ]

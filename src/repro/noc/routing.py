@@ -3,13 +3,32 @@
 Packets first travel along X to the destination column, then along Y.  XY
 routing is deterministic and deadlock-free on a mesh, which is why it is both
 the paper's choice (Table II) and the standard BookSim2 default.
+
+Because the routes depend only on the mesh shape, every derived table —
+pairwise hop distances, the link list, and which links each (src, dst)
+route crosses — is precomputed once per shape and cached
+(:func:`route_tables`).  The per-burst :func:`repro.noc.analytical.link_loads`
+and the batched plan-cost oracle (:mod:`repro.plancost`) both reduce to a
+single integer matmul against the cached route-usage matrix instead of
+walking ``xy_route_path`` per pair.
 """
 
 from __future__ import annotations
 
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+
 from .topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh2D
 
-__all__ = ["xy_route_port", "xy_route_path", "xy_route_ports"]
+__all__ = [
+    "xy_route_port",
+    "xy_route_path",
+    "xy_route_ports",
+    "RouteTables",
+    "route_tables",
+]
 
 
 def xy_route_port(mesh: Mesh2D, current: int, dest: int) -> int:
@@ -62,3 +81,66 @@ def xy_route_path(mesh: Mesh2D, src: int, dest: int) -> list[int]:
         current = mesh.neighbor(current, port)
         path.append(current)
     raise RuntimeError(f"routing loop from {src} to {dest}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class RouteTables:
+    """Precomputed XY routing tables of one mesh shape.
+
+    ``hops[s, d]`` is the Manhattan hop count from node ``s`` to ``d``;
+    ``links`` is the fixed unidirectional link order (``mesh.links()``), and
+    ``usage[s * N + d, l]`` is 1 exactly when the XY route from ``s`` to
+    ``d`` crosses ``links[l]``.  Per-link flit loads of a whole traffic
+    matrix are then one matmul: ``flits.reshape(N * N) @ usage``.  All
+    arrays are read-only — the tables are shared through an LRU cache.
+    """
+
+    width: int
+    height: int
+    hops: np.ndarray  # (N, N) int64
+    links: tuple[tuple[int, int], ...]
+    usage: np.ndarray  # (N * N, L) int64 in {0, 1}
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def link_index(self, link: tuple[int, int]) -> int:
+        """Position of ``link`` in the fixed link order."""
+        return self.links.index(link)
+
+
+@functools.lru_cache(maxsize=None)
+def _route_tables(width: int, height: int) -> RouteTables:
+    mesh = Mesh2D(width, height)
+    n = mesh.num_nodes
+    links = tuple(mesh.links())
+    index = {link: l for l, link in enumerate(links)}
+    hops = np.zeros((n, n), dtype=np.int64)
+    usage = np.zeros((n * n, len(links)), dtype=np.int64)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            path = xy_route_path(mesh, src, dst)
+            hops[src, dst] = len(path) - 1
+            row = usage[src * n + dst]
+            for a, b in zip(path, path[1:]):
+                row[index[(a, b)]] = 1
+    hops.setflags(write=False)
+    usage.setflags(write=False)
+    return RouteTables(width=width, height=height, hops=hops, links=links, usage=usage)
+
+
+def route_tables(mesh: Mesh2D) -> RouteTables:
+    """The (cached) precomputed routing tables for ``mesh``'s shape.
+
+    Tables are built once per distinct ``(width, height)`` and shared by
+    every caller — per-burst link loads, the analytical drain estimate, and
+    the batched plan-cost oracle all index the same arrays.
+    """
+    return _route_tables(mesh.width, mesh.height)

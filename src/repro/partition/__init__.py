@@ -26,6 +26,7 @@ from .pipeline import (
     balanced_stage_split,
     build_pipeline_plan,
 )
+from .degree import build_degree_plan, degree_out_bounds, valid_degree
 from .plan import LayerPlan, ModelParallelPlan, feature_bounds_from_channels
 from .sparsified import (
     build_sparsified_plan,
@@ -43,6 +44,9 @@ __all__ = [
     "producer_layout_for",
     "traffic_from_needs",
     "default_out_bounds",
+    "build_degree_plan",
+    "degree_out_bounds",
+    "valid_degree",
     "build_traditional_plan",
     "grouped_needs",
     "grouped_workloads",

@@ -1,0 +1,23 @@
+"""Plan search: DP over per-layer degrees and MCM stage boundaries.
+
+Both searches run on :mod:`repro.plancost` tables — thousands of candidate
+costs per millisecond — and hand back real, engine-simulatable plans:
+
+* :func:`search_layer_degrees` — layer-chain DP assigning each compute
+  layer its own parallelization degree (transition cost = inter-layer
+  redistribution traffic);
+* :func:`search_stage_split` — DP over contiguous MCM stage boundaries
+  (per-stage latency incl. inter-chip transfer), exact-evaluated against
+  ``balanced_stage_split`` so the returned split is *never worse*.
+"""
+
+from .layerdp import DegreeSearchResult, search_layer_degrees
+from .stagedp import StageSearchResult, dp_stage_split, search_stage_split
+
+__all__ = [
+    "DegreeSearchResult",
+    "search_layer_degrees",
+    "StageSearchResult",
+    "dp_stage_split",
+    "search_stage_split",
+]

@@ -77,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "pipeline; --chips/--stages pipelines serve as replica groups)",
     )
     parser.add_argument(
+        "--search-stages", action="store_true",
+        help="pick the pipeline's stage boundaries with the repro.search "
+        "stage DP instead of the MAC-balanced split (--chips > 1 only; "
+        "never worse than balanced on the measured interval)",
+    )
+    parser.add_argument(
         "--interchip-bytes-per-cycle", type=int, default=None, metavar="B",
         help="inter-chip link bandwidth in bytes per NoC cycle",
     )
@@ -225,6 +231,7 @@ def _run_single(args: argparse.Namespace) -> int:
             scheme=args.scheme,
             link=_interchip_link(args),
             memory_channels=args.memory_channels,
+            stage_split="searched" if args.search_stages else "balanced",
         )
     else:
         cluster = build_spec_cluster(
@@ -241,6 +248,10 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.chips > 1:
         svc = cluster.service(spec.name)
         print(cluster.topology.describe())
+        plan = cluster.plans[spec.name]
+        sizes = "/".join(str(len(s.layers)) for s in plan.stages)
+        kind = "searched" if args.search_stages else "balanced"
+        print(f"  stage split [{sizes}] ({kind})")
         for i, (stage, transfer) in enumerate(
             zip(svc.stage_cycles, svc.transfer_cycles)
         ):
@@ -306,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[FASTPATH_ENV] = args.fastpath
     if args.chips < 1:
         parser.error(f"--chips must be >= 1, got {args.chips}")
+    if args.search_stages and (args.chips == 1 or args.sweep):
+        parser.error("--search-stages requires --chips > 1 and a single run")
     if args.chips == 1:
         if args.stages is not None:
             parser.error("--stages requires --chips > 1")

@@ -124,12 +124,16 @@ def build_mcm_cluster(
     link: InterChipLink | None = None,
     sim_config: SimConfig | None = None,
     memory_channels: int | None = None,
+    stage_split: str = "balanced",
 ) -> PipelinedCluster:
     """Serve one network from an MCM of ``chips`` chips.
 
     ``stages`` chips form one pipeline (default: all of them — a single
     package-wide pipeline); ``chips // stages`` pipelines serve in
-    parallel as replica groups.
+    parallel as replica groups.  ``stage_split`` picks the layer packing:
+    ``"balanced"`` (MAC-balanced, the default) or ``"searched"`` — the
+    stage-boundary DP of :func:`repro.search.search_stage_split`, which is
+    never worse than balanced on the measured interval.
     """
     if chips <= 0:
         raise ValueError(f"chips must be positive, got {chips}")
@@ -137,8 +141,19 @@ def build_mcm_cluster(
     if stages <= 0 or chips % stages:
         raise ValueError(f"--stages {stages} does not tile {chips} chips")
     topology = McmTopology.build(stages, cores_per_chip, link=link)
-    plan = build_mcm_plan(spec, topology, scheme)
-    svc = mcm_service(plan, sim_config=sim_config, model=spec.name)
+    if stage_split == "searched":
+        # Lazy: repro.search imports repro.serve helpers at call time.
+        from ..search import search_stage_split
+
+        result = search_stage_split(spec, topology, scheme, sim_config=sim_config)
+        plan, svc = result.plan, result.service
+    elif stage_split == "balanced":
+        plan = build_mcm_plan(spec, topology, scheme)
+        svc = mcm_service(plan, sim_config=sim_config, model=spec.name)
+    else:
+        raise ValueError(
+            f"stage_split must be 'balanced' or 'searched', got {stage_split!r}"
+        )
     return PipelinedCluster(
         topology=topology,
         pipelines=chips // stages,

@@ -57,7 +57,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..accel.chip import ChipConfig
-from ..noc.analytical import estimate_drain_cycles
+from ..noc.analytical import AnalyticalEstimate, estimate_drain_cycles
 from ..obs import METRICS, nocprof, span
 from ..noc.energy import EnergyBreakdown
 from ..noc.network import EnergyEvents, NoCSimulator, NoCStats
@@ -67,7 +67,13 @@ from ..noc.traffic import TrafficMatrix
 from ..partition.plan import LayerPlan, ModelParallelPlan
 from .results import LayerTimeline, SimulationResult
 
-__all__ = ["SimConfig", "InferenceSimulator", "drain_memo_key"]
+__all__ = [
+    "SimConfig",
+    "InferenceSimulator",
+    "drain_memo_key",
+    "memoized_drain_estimate",
+    "input_load_cycles",
+]
 
 #: Bump to invalidate all memoized drain results (e.g. if simulator semantics
 #: ever intentionally change).
@@ -94,6 +100,9 @@ _ENERGY_FIELDS = (
     "sa_arbitrations",
 )
 
+#: Fields of an AnalyticalEstimate persisted next to cycle-exact results.
+_ANALYTICAL_FIELDS = ("source_bound", "sink_bound", "link_bound", "head_latency")
+
 
 def drain_memo_key(mesh: Mesh2D, noc: NoCConfig, traffic: TrafficMatrix) -> str:
     """Persistent cache key for one burst's cycle-level drain result.
@@ -114,6 +123,79 @@ def drain_memo_key(mesh: Mesh2D, noc: NoCConfig, traffic: TrafficMatrix) -> str:
             "traffic_sha": traffic_sha,
         },
     )
+
+
+def _parse_analytical(raw: object) -> AnalyticalEstimate | None:
+    """Validated ``analytical`` sub-entry of a memo record, or None."""
+    if not isinstance(raw, dict):
+        return None
+    try:
+        fields = {f: raw[f] for f in _ANALYTICAL_FIELDS}
+    except KeyError:
+        return None
+    if any(not isinstance(v, int) for v in fields.values()):
+        return None
+    return AnalyticalEstimate(**fields)
+
+
+def _merge_drain_entry(key: str, updates: dict) -> None:
+    """Merge ``updates`` into the persistent memo entry at ``key``.
+
+    Cycle-exact and analytical results land in the same entry regardless of
+    which was computed first; a read-modify-write keeps whichever half is
+    already present (the values are deterministic, so a concurrent writer
+    merging the same key produces the same bytes).
+    """
+    data = _cache().load_json(key)
+    if not isinstance(data, dict):
+        data = {}
+    data.update(updates)
+    _cache().save_json(key, data)
+
+
+def memoized_drain_estimate(
+    mesh: Mesh2D, noc: NoCConfig, traffic: TrafficMatrix, key: str | None = None
+) -> AnalyticalEstimate:
+    """Analytical drain estimate, persisted alongside cycle-exact results.
+
+    Repeated searches and calibration sampling hit the same layer-transition
+    bursts over and over; the estimate is stored in the burst's drain-memo
+    entry (under ``"analytical"``, next to the cycle-level ``"cycles"`` when
+    one exists) so neither side is ever recomputed.  Entries written before
+    this field existed simply miss once and are upgraded in place.
+    """
+    key = key or drain_memo_key(mesh, noc, traffic)
+    est = _parse_analytical((_cache().load_json(key) or {}).get("analytical"))
+    if est is not None:
+        METRICS.inc("cache.drain_analytical.hit")
+        return est
+    METRICS.inc("cache.drain_analytical.miss")
+    est = estimate_drain_cycles(traffic, mesh, noc)
+    _merge_drain_entry(
+        key, {"analytical": {f: getattr(est, f) for f in _ANALYTICAL_FIELDS}}
+    )
+    return est
+
+
+def input_load_cycles(chip: ChipConfig, in_shape: tuple[int, ...]) -> int:
+    """Cycles to fetch a network input from DRAM and distribute it on-chip.
+
+    The image streams once through the memory controller and is multicast to
+    the cores (every core needs the full input of the first layer, so a
+    broadcast tree replicates flits in the fabric rather than unicasting per
+    core).  The distribution therefore pipelines behind the DRAM stream and
+    only adds the multicast tree's fill latency — the network diameter's
+    worth of router hops.  Scheme-independent, so the plan-cost oracle
+    charges it once per model, exactly like the engine.
+    """
+    input_bytes = int(np.prod(in_shape)) * chip.bytes_per_value
+    dram_cycles = chip.dram.transfer_cycles(input_bytes)
+    cfg = chip.noc
+    per_noc_cycle = cfg.flit_bytes * cfg.physical_channels
+    stream_noc_cycles = -(-input_bytes // per_noc_cycle)
+    fill = chip.mesh.diameter * (cfg.router_stages + cfg.link_latency)
+    noc_cycles = (stream_noc_cycles + fill) * cfg.core_clock_divider
+    return max(dram_cycles, noc_cycles)
 
 
 @dataclass(frozen=True)
@@ -185,25 +267,11 @@ class InferenceSimulator:
         return result
 
     def _input_load(self, first_layer: LayerPlan) -> tuple[int, float]:
-        """Cycles/energy to fetch the input from DRAM and distribute it.
-
-        The image streams once through the memory controller and is
-        multicast to the cores (every core needs the full input of the first
-        layer, so a broadcast tree replicates flits in the fabric rather
-        than unicasting per core).  The distribution therefore pipelines
-        behind the DRAM stream and only adds the multicast tree's fill
-        latency — the network diameter's worth of router hops.
-        """
+        """Cycles/energy to fetch the input from DRAM and distribute it."""
         chip = self.chip
         input_bytes = int(np.prod(first_layer.layer.in_shape)) * chip.bytes_per_value
-        dram_cycles = chip.dram.transfer_cycles(input_bytes)
-        cfg = chip.noc
-        per_noc_cycle = cfg.flit_bytes * cfg.physical_channels
-        stream_noc_cycles = -(-input_bytes // per_noc_cycle)
-        fill = chip.mesh.diameter * (cfg.router_stages + cfg.link_latency)
-        noc_cycles = (stream_noc_cycles + fill) * cfg.core_clock_divider
         energy = chip.dram.transfer_energy_j(input_bytes)
-        return max(dram_cycles, noc_cycles), energy
+        return input_load_cycles(chip, first_layer.layer.in_shape), energy
 
     # -- per-layer ---------------------------------------------------------------------
 
@@ -270,7 +338,7 @@ class InferenceSimulator:
             mode = "cycle" if total_flits <= self.config.max_cycle_sim_flits else "scaled-cycle"
 
         if mode == "analytical":
-            est = estimate_drain_cycles(traffic, chip.mesh, cfg)
+            est = self._drain_estimate(traffic)
             energy = chip.noc_energy.analytical_energy(traffic, chip.mesh, cfg)
             flit_hops = traffic.total_flit_hops(chip.mesh, cfg)
             return est.cycles * cfg.core_clock_divider, flit_hops, energy, "analytical"
@@ -284,13 +352,20 @@ class InferenceSimulator:
         scale = self.config.max_cycle_sim_flits / total_flits
         scaled = traffic.scaled(scale)
         noc_cycles, _, _ = self._cycle_sim(scaled)
-        head = estimate_drain_cycles(traffic, chip.mesh, cfg).head_latency
+        head = self._drain_estimate(traffic).head_latency
         drain = max(0, noc_cycles - head)
         noc_cycles_full = int(drain / scale) + head
         # Energy scales exactly with the real traffic (analytical accounting).
         energy = chip.noc_energy.analytical_energy(traffic, chip.mesh, cfg)
         flit_hops = traffic.total_flit_hops(chip.mesh, cfg)
         return noc_cycles_full * cfg.core_clock_divider, flit_hops, energy, "scaled-cycle"
+
+    def _drain_estimate(self, traffic: TrafficMatrix) -> AnalyticalEstimate:
+        """Analytical estimate for one burst, memoized when comm_cache is on."""
+        chip = self.chip
+        if self.config.comm_cache:
+            return memoized_drain_estimate(chip.mesh, chip.noc, traffic)
+        return estimate_drain_cycles(traffic, chip.mesh, chip.noc)
 
     def _cycle_sim(self, traffic: TrafficMatrix) -> tuple[int, int, EnergyBreakdown]:
         chip = self.chip
@@ -339,12 +414,19 @@ class InferenceSimulator:
         METRICS.inc("sim.drain_cycles", stats.cycles)
         energy = chip.noc_energy.simulation_energy(stats, chip.mesh.num_nodes)
         if key is not None:
-            _cache().save_json(
+            # The analytical estimate rides along in the same entry (cheap to
+            # compute next to a cycle-level run, and it saves calibration
+            # sampling a recompute later — see memoized_drain_estimate).
+            est = estimate_drain_cycles(traffic, chip.mesh, chip.noc)
+            _merge_drain_entry(
                 key,
                 {
                     "cycles": stats.cycles,
                     "flit_hops": stats.flit_hops,
                     "energy": {f: getattr(stats.energy, f) for f in _ENERGY_FIELDS},
+                    "analytical": {
+                        f: getattr(est, f) for f in _ANALYTICAL_FIELDS
+                    },
                 },
             )
         return stats.cycles, stats.flit_hops, energy

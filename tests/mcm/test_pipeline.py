@@ -88,3 +88,25 @@ class TestStageSubspec:
     def test_empty_stage_rejected(self):
         with pytest.raises(ValueError, match="empty"):
             stage_subspec(lenet_spec(), 0, [])
+
+
+class TestExplicitSplit:
+    def test_custom_split_is_used(self):
+        from repro.mcm.topology import McmTopology
+        from repro.models.zoo import convnet_spec
+
+        spec = convnet_spec()
+        layers = spec.compute_layers()
+        topo = McmTopology.build(4)
+        split = [layers[:2], layers[2:], [], []]
+        plan = build_mcm_plan(spec, topo, split=split)
+        assert [len(s.layers) for s in plan.stages] == [2, len(layers) - 2, 0, 0]
+
+    def test_split_must_cover_all_chips(self):
+        from repro.mcm.topology import McmTopology
+        from repro.models.zoo import convnet_spec
+
+        spec = convnet_spec()
+        layers = spec.compute_layers()
+        with pytest.raises(ValueError):
+            build_mcm_plan(spec, McmTopology.build(4), split=[layers])

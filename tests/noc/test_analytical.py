@@ -1,0 +1,148 @@
+"""Property tests pinning the analytical drain model to the cycle simulator.
+
+The vectorized plan-cost oracle (``repro.plancost``) trusts
+:func:`~repro.noc.analytical.estimate_drain_cycles` to stand in for the
+cycle-level :class:`~repro.noc.network.NoCSimulator`.  These hypothesis
+suites state the contract explicitly and hold it across mesh shapes, NoC
+configurations (channel counts, packet sizes, flit widths, router depths),
+and traffic skews:
+
+* the bandwidth term ``max(source, sink, link)`` is a true **lower bound**
+  on simulated drain cycles — never violated;
+* the full estimate brackets the simulator within a **stated factor**:
+  ``est / UNDER_FACTOR <= sim <= OVER_FACTOR * est``.  Empirically the
+  sim/est ratio spans ~[0.96, 3.3] (congestion at single-channel, dense,
+  heavy load is where the contention-free estimate undercounts most), so
+  the gates are 4.0x over and 1.5x under.
+
+``message_flits`` is additionally pinned to the packet segmenter: the
+closed-form flit count must equal walking :func:`segment_message`.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import (
+    Mesh2D,
+    NoCConfig,
+    NoCSimulator,
+    TrafficMatrix,
+    estimate_drain_cycles,
+    uniform_random_traffic,
+)
+from repro.noc.analytical import message_flits
+from repro.noc.packet import segment_message
+
+#: Stated agreement factors gated by this suite (see module docstring).
+OVER_FACTOR = 4.0
+UNDER_FACTOR = 1.5
+
+MESH_SHAPES = ((2, 2), (4, 2), (3, 3), (4, 4))
+
+noc_configs = st.sampled_from(
+    [
+        NoCConfig(),
+        NoCConfig(physical_channels=1),
+        NoCConfig(max_packet_flits=4),
+        NoCConfig(flit_bits=256),
+        NoCConfig(router_stages=2, link_latency=2),
+        NoCConfig(physical_channels=1, max_packet_flits=4),
+    ]
+)
+
+
+def _skewed_matrix(n: int, rng: np.random.Generator, kind: str) -> np.ndarray:
+    m = np.zeros((n, n), dtype=np.int64)
+    if kind == "uniform":
+        m = rng.integers(0, 20_000, size=(n, n))
+    elif kind == "hotspot":  # everyone converges on node 0 — sink-bound
+        m[1:, 0] = rng.integers(1, 30_000, size=n - 1)
+    elif kind == "fanout":  # node 0 feeds everyone — source-bound
+        m[0, 1:] = rng.integers(1, 30_000, size=n - 1)
+    elif kind == "flow":  # one fat corner-to-corner flow — link/head-bound
+        m[0, n - 1] = rng.integers(1, 500_000)
+    elif kind == "sparse":
+        m = rng.integers(0, 3, size=(n, n)) * rng.integers(1, 3_000, size=(n, n))
+    np.fill_diagonal(m, 0)
+    return m.astype(np.int64)
+
+
+traffic_kinds = st.sampled_from(["uniform", "hotspot", "fanout", "flow", "sparse"])
+
+
+class TestMessageFlits:
+    @given(size=st.integers(0, 500_000), config=noc_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_segmenter(self, size, config):
+        closed_form = int(message_flits(np.array([[0, size], [0, 0]]), config)[0, 1])
+        packets = segment_message(0, 1, size, config)
+        assert closed_form == sum(p.num_flits for p in packets)
+
+    def test_batched_shape_and_zero(self):
+        b = np.array([[0, 0, 1], [1216, 0, 1217], [64, 65, 0]])
+        flits = message_flits(b, NoCConfig())
+        assert flits.shape == b.shape
+        assert flits[0, 0] == 0 and flits[0, 2] == 2  # 1 head + 1 payload flit
+        assert flits[1, 0] == 1 + 19  # exactly one full packet
+        assert flits[1, 2] == 2 + 20  # one byte over: second packet
+
+
+class TestSimulatorAgreement:
+    @given(
+        shape=st.sampled_from(MESH_SHAPES),
+        config=noc_configs,
+        kind=traffic_kinds,
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bracketing(self, shape, config, kind, seed):
+        """Lower bound holds; sim within the stated factors of the estimate."""
+        w, h = shape
+        rng = np.random.default_rng(seed)
+        m = _skewed_matrix(w * h, rng, kind)
+        if m.sum() == 0:
+            return
+        mesh = Mesh2D(w, h)
+        tm = TrafficMatrix(m)
+        sim = NoCSimulator(mesh, config)
+        sim.inject(tm.to_packets(config))
+        cycles = sim.run().cycles
+        est = estimate_drain_cycles(tm, mesh, config)
+        lower = max(est.source_bound, est.sink_bound, est.link_bound)
+        assert cycles >= lower
+        assert cycles <= OVER_FACTOR * est.cycles
+        assert cycles >= est.cycles / UNDER_FACTOR
+
+    @given(size=st.integers(64, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_single_flow_tight(self, size):
+        """One contention-free flow: sim within [est, 2 * est].
+
+        The estimate spreads a flow over all physical channels while the
+        wormhole simulator serializes each packet on one channel, so a
+        lone flow can run up to ``physical_channels`` times the bandwidth
+        bound — but never below the estimate.
+        """
+        mesh = Mesh2D(4, 4)
+        config = NoCConfig()
+        m = np.zeros((16, 16), dtype=np.int64)
+        m[0, 15] = size
+        tm = TrafficMatrix(m)
+        sim = NoCSimulator(mesh, config)
+        sim.inject(tm.to_packets(config))
+        cycles = sim.run().cycles
+        est = estimate_drain_cycles(tm, mesh, config)
+        assert est.cycles <= cycles <= 2 * est.cycles
+
+    @given(nodes=st.sampled_from([4, 8, 16]), volume=st.integers(1_000, 300_000))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_traffic_bracketing(self, nodes, volume):
+        mesh = Mesh2D.for_nodes(nodes)
+        config = NoCConfig()
+        tm = uniform_random_traffic(nodes, volume, seed=volume)
+        sim = NoCSimulator(mesh, config)
+        sim.inject(tm.to_packets(config))
+        cycles = sim.run().cycles
+        est = estimate_drain_cycles(tm, mesh, config)
+        assert est.cycles / UNDER_FACTOR <= cycles <= OVER_FACTOR * est.cycles

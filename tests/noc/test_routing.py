@@ -65,3 +65,66 @@ class TestRoutePath:
     def test_deterministic(self):
         mesh = Mesh2D(4, 4)
         assert xy_route_path(mesh, 3, 12) == xy_route_path(mesh, 3, 12)
+
+
+class TestRouteTables:
+    """Cached per-mesh-shape XY route tables (repro.noc.routing.route_tables)."""
+
+    def test_hops_match_manhattan(self):
+        import numpy as np
+
+        from repro.noc import route_tables
+
+        mesh = Mesh2D(4, 4)
+        tables = route_tables(mesh)
+        expected = np.array(
+            [[mesh.hop_distance(s, d) for d in range(16)] for s in range(16)]
+        )
+        assert np.array_equal(tables.hops, expected)
+
+    def test_usage_matches_route_paths(self):
+        from repro.noc import route_tables
+
+        mesh = Mesh2D(3, 3)
+        tables = route_tables(mesh)
+        for s in range(9):
+            for d in range(9):
+                path = xy_route_path(mesh, s, d)
+                walked = {(a, b) for a, b in zip(path, path[1:])}
+                row = tables.usage[s * 9 + d]
+                used = {tables.links[i] for i in range(len(row)) if row[i]}
+                assert used == walked
+
+    def test_usage_row_sums_are_hop_counts(self):
+        from repro.noc import route_tables
+
+        mesh = Mesh2D(4, 2)
+        tables = route_tables(mesh)
+        for s in range(8):
+            for d in range(8):
+                assert tables.usage[s * 8 + d].sum() == tables.hops[s, d]
+
+    def test_links_order_matches_mesh(self):
+        from repro.noc import route_tables
+
+        mesh = Mesh2D(4, 4)
+        assert list(route_tables(mesh).links) == mesh.links()
+
+    def test_cached_per_shape(self):
+        from repro.noc import route_tables
+
+        assert route_tables(Mesh2D(4, 4)) is route_tables(Mesh2D(4, 4))
+        assert route_tables(Mesh2D(4, 4)) is not route_tables(Mesh2D(2, 2))
+
+    def test_arrays_are_readonly(self):
+        import numpy as np
+        import pytest
+
+        from repro.noc import route_tables
+
+        tables = route_tables(Mesh2D(2, 2))
+        with pytest.raises((ValueError, RuntimeError)):
+            tables.hops[0, 0] = 99
+        with pytest.raises((ValueError, RuntimeError)):
+            tables.usage[0, 0] = 99
+        assert isinstance(tables.link_index((0, 1)), (int, np.integer))

@@ -209,7 +209,7 @@ class TestCheckBenchCli:
         specs = load_tolerances(_ROOT / "benchmarks" / "tolerances.json")
         names = {s.name for s in specs}
         assert names == {
-            "BENCH_experiments", "BENCH_mcm", "BENCH_noc", "BENCH_serve",
-            "BENCH_train",
+            "BENCH_experiments", "BENCH_mcm", "BENCH_noc", "BENCH_search",
+            "BENCH_serve", "BENCH_train",
         }
         assert all(s.rules for s in specs)

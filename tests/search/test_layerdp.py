@@ -1,0 +1,71 @@
+"""Chain DP over per-layer degrees: optimality and never-worse guarantees."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import alexnet_spec, convnet_spec, lenet_spec
+from repro.plancost import PlanCostOracle
+from repro.search import search_layer_degrees
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "spec_fn", [lenet_spec, convnet_spec], ids=lambda f: f.__name__
+    )
+    def test_matches_brute_force(self, spec_fn):
+        """The DP optimum equals exhaustive enumeration of the oracle cost."""
+        spec = spec_fn()
+        oracle = PlanCostOracle(spec, 16, degrees=(1, 4, 16))
+        result = search_layer_degrees(spec, 16, oracle=oracle)
+
+        grid = np.array(
+            list(itertools.product(range(len(oracle.degrees)), repeat=oracle.num_layers))
+        )
+        costs = oracle.batch_cost(grid)
+        best = float(costs.min())
+        assert result.predicted_cycles == pytest.approx(best)
+        # The reported config actually achieves the reported cost.
+        assert oracle.cost(result.degrees) == pytest.approx(best)
+
+    def test_full_candidate_set_brute_force_lenet(self):
+        """All divisor degrees on the shortest network still match brute force."""
+        spec = lenet_spec()
+        oracle = PlanCostOracle(spec, 16)
+        result = search_layer_degrees(spec, 16, oracle=oracle)
+        grid = np.array(
+            list(itertools.product(range(len(oracle.degrees)), repeat=oracle.num_layers))
+        )
+        assert result.predicted_cycles == pytest.approx(float(oracle.batch_cost(grid).min()))
+
+
+class TestNeverWorse:
+    @pytest.mark.parametrize(
+        "spec_fn", [lenet_spec, convnet_spec, alexnet_spec], ids=lambda f: f.__name__
+    )
+    def test_searched_not_worse_than_anchor(self, spec_fn):
+        result = search_layer_degrees(spec_fn(), 16)
+        assert result.predicted_cycles <= result.anchor_cycles
+        assert result.predicted_speedup >= 1.0
+
+
+class TestResultContract:
+    def test_plan_is_buildable_and_consistent(self):
+        spec = convnet_spec()
+        result = search_layer_degrees(spec, 16)
+        assert result.model == spec.name
+        assert len(result.degrees) == len(spec.compute_layers())
+        assert result.plan.num_cores == 16
+        # The attached plan really encodes the searched degrees.
+        for lp, degree in zip(result.plan.layers, result.degrees):
+            active = sum(1 for a, b in lp.out_bounds if b > a)
+            assert active == degree
+
+    def test_describe_mentions_model(self):
+        result = search_layer_degrees(lenet_spec(), 16)
+        assert "lenet" in result.describe()
+
+    def test_respects_restricted_candidates(self):
+        result = search_layer_degrees(lenet_spec(), 16, degrees=(4, 16))
+        assert set(result.degrees) <= {4, 16}

@@ -71,3 +71,29 @@ class TestMcmSweep:
         assert "frontier" in out.lower()
         # Both single-chip and pipelined rows compete in one table.
         assert "1s x" in out and "2s x" in out
+
+
+class TestSearchStages:
+    def test_searched_split_reported_and_not_worse(self, capsys):
+        args = ["--network", "convnet", "--chips", "4", "--requests", "20",
+                "--rate", "10"]
+        assert main(args) == 0
+        balanced = capsys.readouterr().out
+        assert "(balanced)" in balanced
+        assert main(args + ["--search-stages"]) == 0
+        searched = capsys.readouterr().out
+        assert "(searched)" in searched
+
+        def interval(out):
+            line = next(l for l in out.splitlines() if "steady-state interval" in l)
+            return int(line.split("interval")[1].split("cycles")[0].replace(",", ""))
+
+        assert interval(searched) <= interval(balanced)
+
+    def test_search_stages_requires_chips(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--network", "lenet", "--search-stages"])
+
+    def test_search_stages_rejected_in_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--chips", "4", "--sweep", "--search-stages", "--profile", "fast"])

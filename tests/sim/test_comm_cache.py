@@ -188,3 +188,76 @@ class TestCorruptEntries:
         (cache_dir / "probe.json").write_text("[]")
         cache.clear_memo()
         assert cache.load_json("probe") is None
+
+
+class TestAnalyticalMemo:
+    """The memoized analytical estimate rides in the same drain entries."""
+
+    def test_estimate_matches_uncached(self, cache_dir, chip16):
+        from repro.noc import estimate_drain_cycles
+        from repro.sim.engine import memoized_drain_estimate
+
+        tm = uniform_random_traffic(16, 50_000, seed=5)
+        mesh, noc = Mesh2D(4, 4), NoCConfig()
+        got = memoized_drain_estimate(mesh, noc, tm)
+        assert got == estimate_drain_cycles(tm, mesh, noc)
+        # Second call is a pure cache read and returns the same estimate.
+        assert memoized_drain_estimate(mesh, noc, tm) == got
+
+    def test_estimate_stored_in_drain_entry(self, cache_dir):
+        from repro.sim.engine import memoized_drain_estimate
+
+        tm = uniform_random_traffic(16, 10_000, seed=6)
+        mesh, noc = Mesh2D(4, 4), NoCConfig()
+        est = memoized_drain_estimate(mesh, noc, tm)
+        key = drain_memo_key(mesh, noc, tm)
+        raw = json.loads(
+            next(cache_dir.glob(f"{key}.json")).read_text()
+        )["analytical"]
+        assert raw == {
+            "source_bound": est.source_bound,
+            "sink_bound": est.sink_bound,
+            "link_bound": est.link_bound,
+            "head_latency": est.head_latency,
+        }
+
+    def test_cycle_sim_writes_analytical_twin(self, cache_dir, chip16, plan):
+        """An engine cycle run leaves the analytical estimate in the memo."""
+        from repro.obs import METRICS
+
+        sim = InferenceSimulator(chip16, SimConfig())
+        sim.simulate(plan)
+        from repro.sim.engine import memoized_drain_estimate
+
+        burst = next(
+            lp.traffic for lp in plan.layers if lp.traffic.total_bytes > 0
+        )
+        before = METRICS.counter("cache.drain_analytical.hit")
+        memoized_drain_estimate(chip16.mesh, chip16.noc, burst)
+        assert METRICS.counter("cache.drain_analytical.hit") == before + 1
+
+    def test_legacy_entry_upgraded_in_place(self, cache_dir, chip16, plan):
+        """Entries written before the analytical field miss once, then hit."""
+        from repro.sim.engine import memoized_drain_estimate
+
+        tm = uniform_random_traffic(16, 20_000, seed=7)
+        mesh, noc = Mesh2D(4, 4), NoCConfig()
+        key = drain_memo_key(mesh, noc, tm)
+        # Fake a pre-upgrade cycle-only entry.
+        cache.save_json(key, {"cycles": 123, "flit_hops": 456})
+        est = memoized_drain_estimate(mesh, noc, tm)
+        data = cache.load_json(key)
+        assert data["cycles"] == 123 and data["flit_hops"] == 456
+        assert data["analytical"]["source_bound"] == est.source_bound
+
+    def test_corrupt_analytical_recomputed(self, cache_dir):
+        from repro.sim.engine import memoized_drain_estimate
+
+        tm = uniform_random_traffic(16, 20_000, seed=8)
+        mesh, noc = Mesh2D(4, 4), NoCConfig()
+        key = drain_memo_key(mesh, noc, tm)
+        cache.save_json(key, {"analytical": {"source_bound": "bad"}})
+        est = memoized_drain_estimate(mesh, noc, tm)
+        from repro.noc import estimate_drain_cycles
+
+        assert est == estimate_drain_cycles(tm, mesh, noc)
